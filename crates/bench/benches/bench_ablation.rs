@@ -1,0 +1,41 @@
+//! Criterion benches for the design-choice ablations listed in DESIGN.md:
+//! radial resolution ψ, KDE mode threshold, node-only vs node+edge
+//! features — measuring the *cost* side (the accuracy side is covered by
+//! `tests/ablation.rs`).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use kgraph::{KGraph, KGraphConfig};
+
+fn config(psi: usize, node_f: bool, edge_f: bool) -> KGraphConfig {
+    KGraphConfig {
+        n_lengths: 3,
+        psi,
+        pca_sample: 600,
+        n_init: 2,
+        node_features: node_f,
+        edge_features: edge_f,
+        ..KGraphConfig::new(3)
+    }
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let dataset = datasets::cbf::cbf(6, 96, 0);
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    for psi in [8usize, 16, 32] {
+        group.bench_with_input(BenchmarkId::new("psi", psi), &psi, |b, &psi| {
+            let kg = KGraph::new(config(psi, true, true));
+            b.iter(|| kg.fit(black_box(&dataset)))
+        });
+    }
+    for (name, nf, ef) in [("node+edge", true, true), ("node_only", true, false), ("edge_only", false, true)] {
+        group.bench_with_input(BenchmarkId::new("features", name), &name, |b, _| {
+            let kg = KGraph::new(config(16, nf, ef));
+            b.iter(|| kg.fit(black_box(&dataset)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion benches comparing k-Graph's runtime against representative
+//! baselines on the same dataset (the cost side of the Benchmark frame).
+
+use bench::experiment_kgraph_config;
+use clustering::method::{ClusteringMethod, MethodKind};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use kgraph::KGraph;
+
+fn bench_baselines(c: &mut Criterion) {
+    let dataset = datasets::cbf::cbf(8, 96, 0);
+    let k = 3;
+    let mut group = c.benchmark_group("baselines");
+    group.sample_size(10);
+    group.bench_function("k-Graph", |b| {
+        let kg = KGraph::new(experiment_kgraph_config(k, 0));
+        b.iter(|| kg.fit(black_box(&dataset)))
+    });
+    for kind in [
+        MethodKind::KMeansZnorm,
+        MethodKind::KShape,
+        MethodKind::SpectralRbf,
+        MethodKind::AggloWard,
+        MethodKind::FeatTs,
+        MethodKind::Kdba,
+    ] {
+        group.bench_with_input(BenchmarkId::new("baseline", kind.name()), &kind, |b, &kind| {
+            let m = ClusteringMethod::new(kind, k, 0);
+            b.iter(|| m.run(black_box(&dataset)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion benches for stage 2: feature-matrix construction and the
+//! per-length k-Means (node-only vs node+edge feature ablation).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use kgraph::build::build_graph;
+use kgraph::embed::project_subsequences;
+use kgraph::features::{cluster_layer, feature_matrix};
+use kgraph::nodes::radial_scan;
+
+fn bench_stage2(c: &mut Criterion) {
+    let dataset = datasets::cbf::cbf(10, 128, 0);
+    let proj = project_subsequences(&dataset, 32, 1, 1000);
+    let assign = radial_scan(&proj, 20, 128, 0.05);
+    let layer = build_graph(&dataset, &proj, &assign);
+
+    let mut group = c.benchmark_group("graph_clustering");
+    group.bench_function("feature_matrix", |b| {
+        b.iter(|| feature_matrix(black_box(&layer), true, true))
+    });
+    group.bench_function("feature_matrix_nodes_only", |b| {
+        b.iter(|| feature_matrix(black_box(&layer), true, false))
+    });
+    group.bench_function("kmeans_on_features", |b| {
+        b.iter(|| cluster_layer(black_box(&layer), 3, 3, 0, true, true))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_stage2
+}
+criterion_main!(benches);

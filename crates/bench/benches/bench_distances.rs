@@ -1,0 +1,43 @@
+//! Criterion micro-benches for the distance substrate: Euclidean vs SBD
+//! (direct and FFT) vs DTW (banded and full). Supports the E6 narrative:
+//! why k-Graph avoids pairwise elastic distances entirely.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn make_pair(len: usize) -> (Vec<f64>, Vec<f64>) {
+    let a: Vec<f64> = (0..len).map(|i| (i as f64 * 0.13).sin()).collect();
+    let b: Vec<f64> = (0..len).map(|i| (i as f64 * 0.13 + 0.7).sin()).collect();
+    (a, b)
+}
+
+fn bench_distances(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distances");
+    for len in [64usize, 256] {
+        let (a, b) = make_pair(len);
+        group.bench_with_input(BenchmarkId::new("euclidean", len), &len, |bencher, _| {
+            bencher.iter(|| tscore::distance::euclidean(black_box(&a), black_box(&b)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("sbd_direct", len), &len, |bencher, _| {
+            bencher.iter(|| tscore::distance::sbd(black_box(&a), black_box(&b)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("sbd_fft", len), &len, |bencher, _| {
+            bencher.iter(|| clustering::kshape::sbd_fft(black_box(&a), black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("dtw_banded", len), &len, |bencher, _| {
+            let opts = tscore::dtw::DtwOptions { window: Some(len / 10) };
+            bencher.iter(|| tscore::dtw::dtw(black_box(&a), black_box(&b), opts).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("dtw_full", len), &len, |bencher, _| {
+            let opts = tscore::dtw::DtwOptions::default();
+            bencher.iter(|| tscore::dtw::dtw(black_box(&a), black_box(&b), opts).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_distances
+}
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion benches for stage 1 of the pipeline: subsequence projection
+//! (PCA) and node extraction (radial scan + KDE), per subsequence length,
+//! plus the stride ablation called out in DESIGN.md.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use kgraph::embed::project_subsequences;
+use kgraph::nodes::radial_scan;
+
+fn bench_embedding(c: &mut Criterion) {
+    let dataset = datasets::cbf::cbf(10, 128, 0);
+    let mut group = c.benchmark_group("embedding");
+    for length in [16usize, 32, 64] {
+        group.bench_with_input(BenchmarkId::new("project", length), &length, |b, &l| {
+            b.iter(|| project_subsequences(black_box(&dataset), l, 1, 1000))
+        });
+        let proj = project_subsequences(&dataset, length, 1, 1000);
+        group.bench_with_input(BenchmarkId::new("radial_scan", length), &length, |b, _| {
+            b.iter(|| radial_scan(black_box(&proj), 20, 128, 0.05))
+        });
+    }
+    // Stride ablation: how much does strided extraction save?
+    for stride in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("project_stride", stride), &stride, |b, &s| {
+            b.iter(|| project_subsequences(black_box(&dataset), 32, s, 1000))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_embedding
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion benches for the end-to-end pipeline: full fit vs dataset
+//! size/length, and the parallel vs serial per-length jobs ablation.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use kgraph::{KGraph, KGraphConfig};
+
+fn quick_config(k: usize, parallel: bool) -> KGraphConfig {
+    KGraphConfig {
+        n_lengths: 3,
+        psi: 16,
+        pca_sample: 600,
+        n_init: 2,
+        parallel,
+        ..KGraphConfig::new(k)
+    }
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    for per_class in [5usize, 10] {
+        let dataset = datasets::cbf::cbf(per_class, 96, 0);
+        group.bench_with_input(
+            BenchmarkId::new("fit_n_series", per_class * 3),
+            &per_class,
+            |b, _| {
+                let kg = KGraph::new(quick_config(3, true));
+                b.iter(|| kg.fit(black_box(&dataset)))
+            },
+        );
+    }
+    for length in [64usize, 128] {
+        let dataset = datasets::cbf::cbf(6, length, 0);
+        group.bench_with_input(BenchmarkId::new("fit_length", length), &length, |b, _| {
+            let kg = KGraph::new(quick_config(3, true));
+            b.iter(|| kg.fit(black_box(&dataset)))
+        });
+    }
+    // Parallel vs serial jobs.
+    let dataset = datasets::cbf::cbf(8, 96, 0);
+    for (name, parallel) in [("parallel", true), ("serial", false)] {
+        group.bench_with_input(BenchmarkId::new("jobs", name), &parallel, |b, &p| {
+            let kg = KGraph::new(quick_config(3, p));
+            b.iter(|| kg.fit(black_box(&dataset)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

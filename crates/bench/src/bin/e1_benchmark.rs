@@ -1,0 +1,114 @@
+//! E1 — the Benchmark frame (paper Figure 3, frame 1.2).
+//!
+//! Evaluates k-Graph against the 14-baseline set over the full dataset
+//! collection, on the frame's four measures, and regenerates its artefacts:
+//! per-measure box plots (SVG), filterable summary tables and the raw
+//! records CSV.
+//!
+//! Usage: `cargo run --release -p bench --bin e1_benchmark [--quick]`
+
+use bench::{out_dir, records_to_csv, run_benchmark, KGRAPH_NAME};
+use graphint::csvout::write_csv;
+use graphint::frames::benchmark::{BenchmarkFrame, Filter, Measure};
+use graphint::Report;
+use tscore::DatasetKind;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let specs = if quick {
+        datasets::quick_collection()
+    } else {
+        datasets::default_collection()
+    };
+    println!(
+        "E1: benchmark over {} datasets ({} mode)\n",
+        specs.len(),
+        if quick { "quick" } else { "full" }
+    );
+    let (records, timings) = run_benchmark(&specs, 11, quick, true);
+    let frame = BenchmarkFrame::new(records);
+
+    let out = out_dir().join("e1_benchmark");
+    std::fs::create_dir_all(&out).expect("create out dir");
+    write_csv(&out.join("records.csv"), &records_to_csv(&frame.records)).expect("write CSV");
+
+    let mut report = Report::new("Graphint — Benchmark frame (E1)");
+    for measure in Measure::ALL {
+        println!("== {} over all datasets ==", measure.name());
+        let table = frame.summary_table(measure, &Filter::default());
+        println!("{table}");
+        let svg = frame.render_boxplot(measure, &Filter::default(), Some(KGRAPH_NAME));
+        std::fs::write(
+            out.join(format!("boxplot_{}.svg", measure.name().to_lowercase())),
+            &svg,
+        )
+        .expect("write SVG");
+        report.section(format!("Box plot — {}", measure.name()));
+        report.add_svg(&svg);
+        report.add_pre(&table);
+    }
+
+    // The frame's filters, exercised the way the demo does.
+    let filters: Vec<(&str, Filter)> = vec![
+        (
+            "type = simulated",
+            Filter { kinds: Some(vec![DatasetKind::Simulated]), ..Default::default() },
+        ),
+        (
+            "type = sensor",
+            Filter { kinds: Some(vec![DatasetKind::Sensor]), ..Default::default() },
+        ),
+        ("length <= 128", Filter { length: Some((0, 128)), ..Default::default() }),
+        ("length > 128", Filter { length: Some((129, usize::MAX)), ..Default::default() }),
+        ("2 classes", Filter { classes: Some((2, 2)), ..Default::default() }),
+        ("3+ classes", Filter { classes: Some((3, usize::MAX)), ..Default::default() }),
+    ];
+    report.section("Filtered views (ARI)");
+    for (name, filter) in &filters {
+        let scores = frame.scores_by_method(Measure::Ari, filter);
+        if scores.iter().all(|(_, s)| s.is_empty()) {
+            continue;
+        }
+        println!("== filter: {name} ==");
+        let table = frame.summary_table(Measure::Ari, filter);
+        println!("{table}");
+        report.add_text(&format!("Filter: {name}"));
+        report.add_pre(&table);
+        let svg = frame.render_boxplot(Measure::Ari, filter, Some(KGRAPH_NAME));
+        report.add_svg(&svg);
+    }
+
+    // Timing summary.
+    let mut rows: Vec<Vec<String>> = timings
+        .iter()
+        .map(|(m, d, s)| vec![m.clone(), d.clone(), format!("{s:.2}")])
+        .collect();
+    rows.sort();
+    write_csv(
+        &out.join("timings.csv"),
+        &std::iter::once(vec!["method".to_string(), "dataset".to_string(), "seconds".to_string()])
+            .chain(rows)
+            .collect::<Vec<_>>(),
+    )
+    .expect("write timings");
+
+    report.write(&out.join("benchmark.html")).expect("write report");
+    println!("wrote {}", out.join("benchmark.html").display());
+
+    // Headline check: mean ARI rank of k-Graph.
+    if let Some(kg) = frame.mean_score(KGRAPH_NAME, Measure::Ari, &Filter::default()) {
+        let better: usize = frame
+            .methods()
+            .iter()
+            .filter(|m| {
+                frame
+                    .mean_score(m, Measure::Ari, &Filter::default())
+                    .is_some_and(|s| s > kg)
+            })
+            .count();
+        println!(
+            "k-Graph mean ARI {kg:.3}; {better} of {} methods score higher",
+            frame.methods().len() - 1
+        );
+    }
+}

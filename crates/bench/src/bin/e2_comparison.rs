@@ -1,0 +1,62 @@
+//! E2 — the Clustering-comparison frame (paper Figure 3, frame 1.1).
+//!
+//! For each selected dataset: partitions by k-Graph and the two baselines
+//! the demo shows (k-Means, k-Shape), each panel colouring series by their
+//! true labels and grouping them by the predicted cluster, with per-method
+//! ARI. "Mixed colors mean low clustering accuracy."
+//!
+//! Usage: `cargo run --release -p bench --bin e2_comparison [--quick]`
+
+use bench::{experiment_kgraph_config, out_dir};
+use clustering::method::{ClusteringMethod, MethodKind};
+use graphint::frames::comparison::{ComparisonFrame, MethodPartition};
+use graphint::Report;
+use kgraph::KGraph;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let specs = if quick {
+        datasets::quick_collection()
+    } else {
+        datasets::default_collection()
+            .into_iter()
+            .filter(|s| ["CBF", "TraceLike", "DeviceLike", "EcgLike"].contains(&s.name))
+            .collect()
+    };
+    let out = out_dir().join("e2_comparison");
+    std::fs::create_dir_all(&out).expect("create out dir");
+    let mut report = Report::new("Graphint — Clustering comparison frame (E2)");
+
+    for spec in &specs {
+        let dataset = (spec.build)();
+        let k = dataset.n_classes().max(2);
+        println!("dataset {} (k = {k})", spec.name);
+
+        let model = KGraph::new(experiment_kgraph_config(k, 3)).fit(&dataset);
+        let kmeans = ClusteringMethod::new(MethodKind::KMeansZnorm, k, 3).run(&dataset);
+        let kshape = ClusteringMethod::new(MethodKind::KShape, k, 3).run(&dataset);
+
+        let frame = ComparisonFrame::build(
+            &dataset,
+            &[
+                MethodPartition { name: "k-Graph".into(), labels: model.labels.clone() },
+                MethodPartition { name: "k-Means".into(), labels: kmeans },
+                MethodPartition { name: "k-Shape".into(), labels: kshape },
+            ],
+        );
+        println!("{}", frame.summary());
+
+        report.section(format!("Dataset: {}", spec.name));
+        report.add_pre(&frame.summary());
+        for (name, svg) in &frame.panels {
+            std::fs::write(
+                out.join(format!("{}_{}.svg", spec.name, name.replace(' ', "_"))),
+                svg,
+            )
+            .expect("write SVG");
+            report.add_svg(svg);
+        }
+    }
+    report.write(&out.join("comparison.html")).expect("write report");
+    println!("wrote {}", out.join("comparison.html").display());
+}

@@ -1,0 +1,82 @@
+//! E4 — the Interpretability-test frame (paper Figure 3, frame 3; demo
+//! Scenario 1).
+//!
+//! Runs the 5-question quiz with simulated users: a centroid reader
+//! against k-Means and k-Shape, and a graphoid reader against k-Graph, over
+//! repeated trials and several datasets. The paper's expected outcome is
+//! that the graph representation yields higher user scores on datasets
+//! whose classes differ by local patterns.
+//!
+//! Usage: `cargo run --release -p bench --bin e4_quiz [--quick]`
+
+use bench::{experiment_kgraph_config, out_dir};
+use graphint::ascii::render_table;
+use graphint::csvout::write_csv;
+use graphint::frames::quiz_frame::{QuizConfig, QuizFrame};
+use graphint::Report;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let specs = if quick {
+        datasets::quick_collection()
+    } else {
+        datasets::default_collection()
+            .into_iter()
+            .filter(|s| ["CBF", "TraceLike", "TwoPatterns", "DeviceLike"].contains(&s.name))
+            .collect()
+    };
+    let trials = if quick { 6 } else { 25 };
+    let out = out_dir().join("e4_quiz");
+    std::fs::create_dir_all(&out).expect("create out dir");
+    let mut report = Report::new("Graphint — Interpretability test (E4)");
+    let mut csv = vec![vec![
+        "dataset".to_string(),
+        "representation".to_string(),
+        "mean_score".to_string(),
+        "trials".to_string(),
+    ]];
+    let mut grand: Vec<(String, Vec<f64>)> = Vec::new();
+
+    for spec in &specs {
+        let dataset = (spec.build)();
+        let k = dataset.n_classes().max(2);
+        println!("== {} ==", spec.name);
+        let cfg = QuizConfig { trials, ..QuizConfig::new(k, 13) };
+        let frame = QuizFrame::run(&dataset, cfg, Some(experiment_kgraph_config(k, 13)));
+        println!("{}", frame.summary());
+        report.section(format!("Dataset: {}", spec.name));
+        report.add_pre(&frame.summary());
+        for s in &frame.scores {
+            csv.push(vec![
+                spec.name.to_string(),
+                s.method.clone(),
+                format!("{:.4}", s.mean()),
+                s.fractions.len().to_string(),
+            ]);
+            match grand.iter_mut().find(|(m, _)| m == &s.method) {
+                Some((_, all)) => all.extend(&s.fractions),
+                None => grand.push((s.method.clone(), s.fractions.clone())),
+            }
+        }
+    }
+
+    println!("== overall (all datasets pooled) ==");
+    let rows: Vec<Vec<String>> = grand
+        .iter()
+        .map(|(m, scores)| {
+            vec![
+                m.clone(),
+                format!("{:.3}", tscore::stats::mean(scores)),
+                scores.len().to_string(),
+            ]
+        })
+        .collect();
+    let overall = render_table(&["representation", "mean score", "quizzes"], &rows);
+    println!("{overall}");
+    report.section("Overall");
+    report.add_pre(&overall);
+
+    write_csv(&out.join("quiz_scores.csv"), &csv).expect("write CSV");
+    report.write(&out.join("quiz.html")).expect("write report");
+    println!("wrote {}", out.join("quiz.html").display());
+}

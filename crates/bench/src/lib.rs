@@ -1,0 +1,193 @@
+//! Shared experiment harness for the E0–E5 binaries and the criterion
+//! benches.
+//!
+//! The central entry point is [`run_benchmark`], which evaluates k-Graph
+//! plus every baseline of the Benchmark frame over a dataset collection and
+//! yields the [`BenchmarkRecord`]s the frame consumes. Experiment binaries
+//! print ASCII tables and write SVG/HTML + CSV artefacts under `out/`.
+
+use clustering::method::{ClusteringMethod, MethodKind};
+use clustering::metrics::{
+    adjusted_mutual_information, adjusted_rand_index, normalized_mutual_information, rand_index,
+};
+use datasets::DatasetSpec;
+use graphint::frames::benchmark::BenchmarkRecord;
+use kgraph::{KGraph, KGraphConfig};
+use std::path::PathBuf;
+use std::time::Instant;
+use tscore::Dataset;
+
+/// Name used for k-Graph rows in benchmark tables.
+pub const KGRAPH_NAME: &str = "k-Graph";
+
+/// Directory all experiment artefacts are written to.
+pub fn out_dir() -> PathBuf {
+    let dir = std::env::var("GRAPHINT_OUT").unwrap_or_else(|_| "out".to_string());
+    PathBuf::from(dir)
+}
+
+/// A moderately fast k-Graph configuration used across experiments
+/// (4 lengths, ψ = 20 — close to the canonical config but bounded for
+/// laptop-scale runs).
+pub fn experiment_kgraph_config(k: usize, seed: u64) -> KGraphConfig {
+    KGraphConfig {
+        n_lengths: 4,
+        psi: 20,
+        pca_sample: 1200,
+        n_init: 4,
+        ..KGraphConfig::new(k).with_seed(seed)
+    }
+}
+
+/// Evaluates one partition against ground truth on all four measures.
+pub fn evaluate(dataset: &Dataset, method: &str, labels: &[usize]) -> BenchmarkRecord {
+    let truth = dataset.labels().expect("benchmark datasets are labelled");
+    BenchmarkRecord {
+        dataset: dataset.name().to_string(),
+        kind: dataset.kind(),
+        length: dataset.min_len(),
+        n_series: dataset.len(),
+        n_classes: dataset.n_classes(),
+        method: method.to_string(),
+        ari: adjusted_rand_index(truth, labels),
+        ri: rand_index(truth, labels),
+        nmi: normalized_mutual_information(truth, labels),
+        ami: adjusted_mutual_information(truth, labels),
+    }
+}
+
+/// Which baselines to run (all 16 configured variants by default; the
+/// quick mode used by tests keeps the fast ones).
+pub fn baseline_set(quick: bool) -> Vec<MethodKind> {
+    if quick {
+        vec![
+            MethodKind::KMeansZnorm,
+            MethodKind::KShape,
+            MethodKind::SpectralRbf,
+            MethodKind::AggloWard,
+            MethodKind::FeatTs,
+        ]
+    } else {
+        MethodKind::all_baselines()
+    }
+}
+
+/// Runs k-Graph + baselines over a dataset collection.
+///
+/// Returns all records plus per-run timing lines (method, dataset,
+/// seconds) for the scalability summary. `quick` trims the baseline set
+/// and is what the smoke tests use.
+pub fn run_benchmark(
+    specs: &[DatasetSpec],
+    seed: u64,
+    quick: bool,
+    verbose: bool,
+) -> (Vec<BenchmarkRecord>, Vec<(String, String, f64)>) {
+    let mut records = Vec::new();
+    let mut timings = Vec::new();
+    for spec in specs {
+        let dataset = (spec.build)();
+        let k = dataset.n_classes().max(2);
+
+        // k-Graph itself.
+        let t0 = Instant::now();
+        let model = KGraph::new(experiment_kgraph_config(k, seed)).fit(&dataset);
+        let secs = t0.elapsed().as_secs_f64();
+        timings.push((KGRAPH_NAME.to_string(), spec.name.to_string(), secs));
+        records.push(evaluate(&dataset, KGRAPH_NAME, &model.labels));
+        if verbose {
+            println!(
+                "  {:<18} {:<18} ARI {:+.3}  ({secs:.2}s)",
+                spec.name,
+                KGRAPH_NAME,
+                records.last().expect("just pushed").ari
+            );
+        }
+
+        // Baselines.
+        for kind in baseline_set(quick) {
+            let t0 = Instant::now();
+            let labels = ClusteringMethod::new(kind, k, seed).run(&dataset);
+            let secs = t0.elapsed().as_secs_f64();
+            timings.push((kind.name().to_string(), spec.name.to_string(), secs));
+            records.push(evaluate(&dataset, kind.name(), &labels));
+            if verbose {
+                println!(
+                    "  {:<18} {:<18} ARI {:+.3}  ({secs:.2}s)",
+                    spec.name,
+                    kind.name(),
+                    records.last().expect("just pushed").ari
+                );
+            }
+        }
+    }
+    (records, timings)
+}
+
+/// Serialises benchmark records to CSV rows (header first).
+pub fn records_to_csv(records: &[BenchmarkRecord]) -> Vec<Vec<String>> {
+    let mut rows = vec![vec![
+        "dataset".to_string(),
+        "kind".to_string(),
+        "length".to_string(),
+        "n_series".to_string(),
+        "n_classes".to_string(),
+        "method".to_string(),
+        "ari".to_string(),
+        "ri".to_string(),
+        "nmi".to_string(),
+        "ami".to_string(),
+    ]];
+    for r in records {
+        rows.push(vec![
+            r.dataset.clone(),
+            r.kind.as_str().to_string(),
+            r.length.to_string(),
+            r.n_series.to_string(),
+            r.n_classes.to_string(),
+            r.method.clone(),
+            format!("{:.4}", r.ari),
+            format!("{:.4}", r.ri),
+            format!("{:.4}", r.nmi),
+            format!("{:.4}", r.ami),
+        ]);
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datasets::quick_collection;
+
+    #[test]
+    fn quick_benchmark_produces_records() {
+        let specs = quick_collection();
+        let (records, timings) = run_benchmark(&specs[..1], 0, true, false);
+        // k-Graph + 5 quick baselines on one dataset.
+        assert_eq!(records.len(), 6);
+        assert_eq!(timings.len(), 6);
+        assert!(records.iter().any(|r| r.method == KGRAPH_NAME));
+        for r in &records {
+            assert!((-1.0..=1.0).contains(&r.ari), "{} ari {}", r.method, r.ari);
+            assert!((0.0..=1.0).contains(&r.ri));
+            assert!((0.0..=1.0).contains(&r.nmi));
+        }
+    }
+
+    #[test]
+    fn csv_rows_match_records() {
+        let specs = quick_collection();
+        let (records, _) = run_benchmark(&specs[..1], 0, true, false);
+        let rows = records_to_csv(&records);
+        assert_eq!(rows.len(), records.len() + 1);
+        assert_eq!(rows[0][0], "dataset");
+        assert_eq!(rows[1].len(), 10);
+    }
+
+    #[test]
+    fn full_baseline_set_covers_fourteen() {
+        assert!(baseline_set(false).len() >= 14);
+        assert!(baseline_set(true).len() < baseline_set(false).len());
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests for the clustering algorithms: structural
+//! invariants that must hold for *any* input, not just the curated
+//! fixtures of the unit tests.
+
+use clustering::agglo::{Agglomerative, Linkage};
+use clustering::kmeans::KMeans;
+use clustering::metrics;
+use proptest::prelude::*;
+
+/// Random small point cloud: n points in d dimensions.
+fn cloud(n_range: std::ops::Range<usize>) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    n_range.prop_flat_map(|n| {
+        proptest::collection::vec(proptest::collection::vec(-10.0..10.0f64, 3..=3), n..=n)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn kmeans_labels_in_range_and_inertia_consistent(rows in cloud(3..20), k in 1usize..5) {
+        let result = KMeans::new(k, 7).fit(&rows);
+        prop_assert_eq!(result.labels.len(), rows.len());
+        prop_assert!(result.labels.iter().all(|&l| l < k.max(1)));
+        // Reported inertia matches a recomputation from labels+centroids.
+        let recomputed = metrics::inertia(&rows, &result.labels, &result.centroids);
+        prop_assert!((result.inertia - recomputed).abs() < 1e-6 * (1.0 + recomputed));
+    }
+
+    #[test]
+    fn kmeans_assignments_are_nearest_centroid(rows in cloud(4..16)) {
+        let result = KMeans::new(2, 3).fit(&rows);
+        for (row, &l) in rows.iter().zip(&result.labels) {
+            let d = |c: &Vec<f64>| -> f64 {
+                c.iter().zip(row).map(|(a, b)| (a - b) * (a - b)).sum()
+            };
+            let mine = d(&result.centroids[l]);
+            for c in &result.centroids {
+                prop_assert!(mine <= d(c) + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn agglomerative_produces_exactly_k_compact_labels(rows in cloud(4..16), k in 1usize..5) {
+        let k = k.min(rows.len());
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average, Linkage::Ward] {
+            let labels = Agglomerative::new(k, linkage).fit(&rows);
+            prop_assert_eq!(labels.len(), rows.len());
+            let distinct: std::collections::HashSet<_> = labels.iter().collect();
+            prop_assert_eq!(distinct.len(), k, "{:?}", linkage);
+            // Compact: labels are 0..k.
+            prop_assert!(labels.iter().all(|&l| l < k));
+        }
+    }
+
+    #[test]
+    fn dbscan_labels_partition_or_noise(rows in cloud(3..15), eps in 0.5..10.0f64) {
+        let labels = clustering::dbscan::Dbscan::new(eps, 2).fit(&rows);
+        prop_assert_eq!(labels.len(), rows.len());
+        let fixed = clustering::dbscan::assign_noise_to_nearest(&rows, &labels);
+        prop_assert!(fixed.iter().all(|&l| l != clustering::dbscan::NOISE));
+    }
+
+    #[test]
+    fn gmm_weights_sum_to_one(rows in cloud(4..16), k in 1usize..4) {
+        let result = clustering::gmm::Gmm::new(k, 1).fit(&rows);
+        let sum: f64 = result.weights.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-6, "weights sum {sum}");
+        prop_assert!(result.log_likelihood.is_finite());
+        prop_assert!(result.variances.iter().flatten().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn birch_covers_every_point(rows in cloud(3..20), k in 1usize..4) {
+        let labels = clustering::birch::Birch::new(k, 0).fit(&rows);
+        prop_assert_eq!(labels.len(), rows.len());
+        prop_assert!(labels.iter().all(|&l| l < k));
+    }
+
+    #[test]
+    fn feature_extraction_always_finite(xs in proptest::collection::vec(-100.0..100.0f64, 0..80)) {
+        let f = clustering::features::extract_features(&xs);
+        prop_assert_eq!(f.len(), clustering::features::BASE_FEATURE_NAMES.len());
+        prop_assert!(f.iter().all(|v| v.is_finite()));
+        let s = clustering::features::extract_spectral_features(&xs);
+        prop_assert!(s.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn sbd_fft_triangle_like_bound(
+        a in proptest::collection::vec(-5.0..5.0f64, 8..=8),
+    ) {
+        // SBD(a, a) == 0 and SBD never negative (within fp noise).
+        prop_assume!(a.iter().map(|v| v * v).sum::<f64>() > 1e-9);
+        let d = clustering::kshape::sbd_fft(&a, &a);
+        prop_assert!(d.abs() < 1e-9, "self distance {d}");
+    }
+
+    #[test]
+    fn spectral_on_random_affinity_is_total(n in 2usize..10, k in 1usize..4) {
+        // Symmetric random-ish affinity built deterministically from n.
+        let aff = linalg::Matrix::from_fn(n, n, |i, j| {
+            if i == j {
+                1.0
+            } else {
+                let h = ((i * 31 + j * 17) % 10) as f64 / 10.0;
+                let h2 = ((j * 31 + i * 17) % 10) as f64 / 10.0;
+                (h + h2) / 2.0
+            }
+        });
+        let labels = clustering::spectral::spectral_clustering(
+            &aff,
+            clustering::spectral::SpectralOptions::new(k.min(n), 0),
+        );
+        prop_assert_eq!(labels.len(), n);
+        prop_assert!(labels.iter().all(|&l| l < k.min(n).max(1)));
+    }
+}

@@ -1,0 +1,247 @@
+//! Distance measures between equal-length series.
+//!
+//! * [`euclidean`] / [`sq_euclidean`] — the raw-based workhorse,
+//! * [`znorm_euclidean`] — Euclidean distance between z-normalised copies,
+//! * [`ncc`] / [`sbd`] — normalised cross-correlation and the Shape-Based
+//!   Distance of k-Shape (Paparrizos & Gravano, SIGMOD 2015).
+//!
+//! `ncc` here is the direct O(m²) evaluation; the `clustering` crate layers
+//! an FFT-backed version on top (same semantics, used where the quadratic
+//! cost matters). Dynamic time warping lives in [`crate::dtw`].
+
+use crate::error::{Result, TsError};
+use crate::transform::znorm;
+
+/// Squared Euclidean distance. Errors on length mismatch.
+pub fn sq_euclidean(a: &[f64], b: &[f64]) -> Result<f64> {
+    if a.len() != b.len() {
+        return Err(TsError::LengthMismatch { left: a.len(), right: b.len() });
+    }
+    Ok(a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum())
+}
+
+/// Euclidean (L2) distance. Errors on length mismatch.
+pub fn euclidean(a: &[f64], b: &[f64]) -> Result<f64> {
+    sq_euclidean(a, b).map(f64::sqrt)
+}
+
+/// Euclidean distance between z-normalised copies of the inputs.
+///
+/// Invariant to amplitude scaling and offset; the classic "shape" metric for
+/// raw-based clustering when series have been recorded at different gains.
+pub fn znorm_euclidean(a: &[f64], b: &[f64]) -> Result<f64> {
+    if a.len() != b.len() {
+        return Err(TsError::LengthMismatch { left: a.len(), right: b.len() });
+    }
+    euclidean(&znorm(a), &znorm(b))
+}
+
+/// Manhattan (L1) distance. Errors on length mismatch.
+pub fn manhattan(a: &[f64], b: &[f64]) -> Result<f64> {
+    if a.len() != b.len() {
+        return Err(TsError::LengthMismatch { left: a.len(), right: b.len() });
+    }
+    Ok(a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum())
+}
+
+/// Chebyshev (L∞) distance. Errors on length mismatch.
+pub fn chebyshev(a: &[f64], b: &[f64]) -> Result<f64> {
+    if a.len() != b.len() {
+        return Err(TsError::LengthMismatch { left: a.len(), right: b.len() });
+    }
+    Ok(a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max))
+}
+
+/// Full normalised cross-correlation sequence `NCC_c(a, b)`.
+///
+/// Output has length `2m − 1`; index `s` corresponds to shift
+/// `s − (m − 1) ∈ [−(m−1), m−1]`. Values are normalised by `‖a‖·‖b‖`, so a
+/// perfect alignment of identical (up to scale) signals yields 1. Direct
+/// O(m²) evaluation.
+pub fn ncc(a: &[f64], b: &[f64]) -> Result<Vec<f64>> {
+    if a.len() != b.len() {
+        return Err(TsError::LengthMismatch { left: a.len(), right: b.len() });
+    }
+    let m = a.len();
+    if m == 0 {
+        return Err(TsError::TooShort { required: 1, actual: 0 });
+    }
+    let na: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
+    let nb: f64 = b.iter().map(|x| x * x).sum::<f64>().sqrt();
+    let denom = if na * nb <= f64::EPSILON { 1.0 } else { na * nb };
+    let mut out = vec![0.0; 2 * m - 1];
+    for (s, slot) in out.iter_mut().enumerate() {
+        // shift of b relative to a: k = s − (m−1)
+        let k = s as isize - (m as isize - 1);
+        let mut acc = 0.0;
+        for i in 0..m as isize {
+            let j = i - k;
+            if j >= 0 && j < m as isize {
+                acc += a[i as usize] * b[j as usize];
+            }
+        }
+        *slot = acc / denom;
+    }
+    Ok(out)
+}
+
+/// Maximum of the normalised cross-correlation over all shifts.
+pub fn ncc_max(a: &[f64], b: &[f64]) -> Result<f64> {
+    Ok(ncc(a, b)?.into_iter().fold(f64::NEG_INFINITY, f64::max))
+}
+
+/// Shape-Based Distance: `SBD(a, b) = 1 − max_s NCC_c(a, b)(s)`.
+///
+/// Ranges in `[0, 2]`; 0 for identical shapes (up to scale), 2 for perfectly
+/// anti-correlated ones.
+pub fn sbd(a: &[f64], b: &[f64]) -> Result<f64> {
+    Ok(1.0 - ncc_max(a, b)?)
+}
+
+/// SBD together with the optimal alignment shift (b relative to a).
+pub fn sbd_with_shift(a: &[f64], b: &[f64]) -> Result<(f64, isize)> {
+    let cc = ncc(a, b)?;
+    let mut best = 0usize;
+    for (i, &v) in cc.iter().enumerate() {
+        if v > cc[best] {
+            best = i;
+        }
+    }
+    let shift = best as isize - (a.len() as isize - 1);
+    Ok((1.0 - cc[best], shift))
+}
+
+/// Shifts `b` by `shift` positions (zero padded), as used by k-Shape's
+/// refinement step after SBD alignment.
+pub fn apply_shift(b: &[f64], shift: isize) -> Vec<f64> {
+    let m = b.len() as isize;
+    let mut out = vec![0.0; b.len()];
+    for i in 0..m {
+        let j = i - shift;
+        if j >= 0 && j < m {
+            out[i as usize] = b[j as usize];
+        }
+    }
+    out
+}
+
+/// Pairwise distance matrix under a caller-supplied metric.
+///
+/// The result is a dense, symmetric `n × n` row-major matrix with zero
+/// diagonal. The metric is evaluated only for `i < j`.
+pub fn pairwise_matrix<F>(rows: &[Vec<f64>], mut dist: F) -> Result<Vec<Vec<f64>>>
+where
+    F: FnMut(&[f64], &[f64]) -> Result<f64>,
+{
+    let n = rows.len();
+    let mut m = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = dist(&rows[i], &rows[j])?;
+            m[i][j] = d;
+            m[j][i] = d;
+        }
+    }
+    Ok(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euclidean_basics() {
+        assert_eq!(euclidean(&[0.0, 0.0], &[3.0, 4.0]).unwrap(), 5.0);
+        assert_eq!(sq_euclidean(&[1.0], &[4.0]).unwrap(), 9.0);
+        assert!(euclidean(&[1.0], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn lp_distances() {
+        assert_eq!(manhattan(&[0.0, 0.0], &[3.0, 4.0]).unwrap(), 7.0);
+        assert_eq!(chebyshev(&[0.0, 0.0], &[3.0, 4.0]).unwrap(), 4.0);
+        assert!(manhattan(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(chebyshev(&[1.0], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn znorm_euclidean_scale_invariant() {
+        let a = [1.0, 2.0, 3.0, 2.0, 1.0];
+        let b: Vec<f64> = a.iter().map(|x| 10.0 * x + 5.0).collect();
+        assert!(znorm_euclidean(&a, &b).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn ncc_identity_peak_at_zero_shift() {
+        let a = [1.0, 2.0, 3.0, 2.0, 1.0];
+        let cc = ncc(&a, &a).unwrap();
+        assert_eq!(cc.len(), 9);
+        let peak = cc.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!((peak - 1.0).abs() < 1e-9);
+        // Peak must sit at the centre (zero shift).
+        assert!((cc[4] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sbd_range_and_antiphase() {
+        let a = [1.0, -1.0, 1.0, -1.0];
+        let b: Vec<f64> = a.iter().map(|x| -x).collect();
+        let d = sbd(&a, &b).unwrap();
+        // Anti-correlated at zero shift, but shifting by one aligns them:
+        // SBD uses the best shift, so it is small here.
+        assert!((0.0..=2.0).contains(&d));
+        let d_self = sbd(&a, &a).unwrap();
+        assert!(d_self.abs() < 1e-9);
+    }
+
+    #[test]
+    fn sbd_detects_shifted_copy() {
+        let mut a = vec![0.0; 32];
+        a[8] = 1.0;
+        a[9] = 2.0;
+        a[10] = 1.0;
+        let mut b = vec![0.0; 32];
+        b[20] = 1.0;
+        b[21] = 2.0;
+        b[22] = 1.0;
+        let (d, shift) = sbd_with_shift(&a, &b).unwrap();
+        assert!(d < 1e-9, "shifted copy should have SBD 0, got {d}");
+        assert_eq!(shift, -12);
+        // Applying the shift aligns b onto a.
+        let aligned = apply_shift(&b, shift);
+        assert!(euclidean(&a, &aligned).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn apply_shift_pads_with_zeros() {
+        let b = [1.0, 2.0, 3.0];
+        assert_eq!(apply_shift(&b, 1), vec![0.0, 1.0, 2.0]);
+        assert_eq!(apply_shift(&b, -1), vec![2.0, 3.0, 0.0]);
+        assert_eq!(apply_shift(&b, 0), vec![1.0, 2.0, 3.0]);
+        assert_eq!(apply_shift(&b, 5), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn zero_energy_inputs_do_not_divide_by_zero() {
+        let z = [0.0; 8];
+        let cc = ncc(&z, &z).unwrap();
+        assert!(cc.iter().all(|v| v.is_finite()));
+        assert!(sbd(&z, &z).unwrap().is_finite());
+    }
+
+    #[test]
+    fn pairwise_matrix_symmetric_zero_diagonal() {
+        let rows = vec![vec![0.0, 0.0], vec![3.0, 4.0], vec![6.0, 8.0]];
+        let m = pairwise_matrix(&rows, euclidean).unwrap();
+        assert_eq!(m[0][1], 5.0);
+        assert_eq!(m[1][0], 5.0);
+        for (i, row) in m.iter().enumerate() {
+            assert_eq!(row[i], 0.0);
+        }
+    }
+
+    #[test]
+    fn empty_inputs_error() {
+        assert!(ncc(&[], &[]).is_err());
+    }
+}

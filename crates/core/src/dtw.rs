@@ -1,0 +1,264 @@
+//! Dynamic Time Warping with an optional Sakoe–Chiba band.
+//!
+//! Used by the k-DBA baseline (k-Means under DTW with DBA averaging) in the
+//! Benchmark frame. The implementation keeps only two DP rows, so memory is
+//! O(m) while time is O(n·m) (or O(n·w) with a band of width `w`).
+
+use crate::error::{Result, TsError};
+
+/// Configuration for DTW.
+#[derive(Debug, Clone, Copy)]
+#[derive(Default)]
+pub struct DtwOptions {
+    /// Sakoe–Chiba band half-width; `None` means unconstrained.
+    pub window: Option<usize>,
+}
+
+
+/// DTW distance between two series (may have different lengths).
+///
+/// Returns the square root of the accumulated squared point costs, matching
+/// the common "DTW with squared local distance" convention used by tslearn.
+pub fn dtw(a: &[f64], b: &[f64], opts: DtwOptions) -> Result<f64> {
+    if a.is_empty() || b.is_empty() {
+        return Err(TsError::TooShort { required: 1, actual: a.len().min(b.len()) });
+    }
+    let n = a.len();
+    let m = b.len();
+    // The band must be at least |n − m| wide for a path to exist.
+    let w = match opts.window {
+        Some(w) => w.max(n.abs_diff(m)),
+        None => n.max(m),
+    };
+    let inf = f64::INFINITY;
+    let mut prev = vec![inf; m + 1];
+    let mut curr = vec![inf; m + 1];
+    prev[0] = 0.0;
+    for i in 1..=n {
+        curr.fill(inf);
+        let lo = i.saturating_sub(w).max(1);
+        let hi = (i + w).min(m);
+        if lo > hi {
+            return Err(TsError::InvalidParameter(format!(
+                "DTW band too narrow: window {w} for lengths {n} x {m}"
+            )));
+        }
+        for j in lo..=hi {
+            let cost = (a[i - 1] - b[j - 1]) * (a[i - 1] - b[j - 1]);
+            let best = prev[j].min(curr[j - 1]).min(prev[j - 1]);
+            curr[j] = cost + best;
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    Ok(prev[m].sqrt())
+}
+
+/// DTW distance together with the optimal warping path.
+///
+/// The path is a list of `(i, j)` index pairs from `(0, 0)` to
+/// `(n−1, m−1)`. This variant keeps the full DP matrix — O(n·m) memory —
+/// and is the building block of DBA averaging.
+pub fn dtw_path(a: &[f64], b: &[f64], opts: DtwOptions) -> Result<(f64, Vec<(usize, usize)>)> {
+    if a.is_empty() || b.is_empty() {
+        return Err(TsError::TooShort { required: 1, actual: a.len().min(b.len()) });
+    }
+    let n = a.len();
+    let m = b.len();
+    let w = match opts.window {
+        Some(w) => w.max(n.abs_diff(m)),
+        None => n.max(m),
+    };
+    let inf = f64::INFINITY;
+    let mut dp = vec![inf; (n + 1) * (m + 1)];
+    let idx = |i: usize, j: usize| i * (m + 1) + j;
+    dp[idx(0, 0)] = 0.0;
+    for i in 1..=n {
+        let lo = i.saturating_sub(w).max(1);
+        let hi = (i + w).min(m);
+        for j in lo..=hi {
+            let cost = (a[i - 1] - b[j - 1]) * (a[i - 1] - b[j - 1]);
+            let best = dp[idx(i - 1, j)].min(dp[idx(i, j - 1)]).min(dp[idx(i - 1, j - 1)]);
+            dp[idx(i, j)] = cost + best;
+        }
+    }
+    let total = dp[idx(n, m)];
+    if !total.is_finite() {
+        return Err(TsError::InvalidParameter(format!(
+            "DTW band too narrow: window {w} for lengths {n} x {m}"
+        )));
+    }
+    // Backtrack greedily along the minimal predecessor.
+    let mut path = Vec::with_capacity(n + m);
+    let (mut i, mut j) = (n, m);
+    while i > 0 && j > 0 {
+        path.push((i - 1, j - 1));
+        let diag = dp[idx(i - 1, j - 1)];
+        let up = dp[idx(i - 1, j)];
+        let left = dp[idx(i, j - 1)];
+        if diag <= up && diag <= left {
+            i -= 1;
+            j -= 1;
+        } else if up <= left {
+            i -= 1;
+        } else {
+            j -= 1;
+        }
+    }
+    path.reverse();
+    Ok((total.sqrt(), path))
+}
+
+/// One DBA (DTW Barycenter Averaging) refinement step.
+///
+/// Aligns every series in `members` to `center` and replaces each centre
+/// point by the mean of all points warped onto it. Series may have varying
+/// lengths; the centre length is preserved.
+pub fn dba_step(center: &[f64], members: &[&[f64]], opts: DtwOptions) -> Result<Vec<f64>> {
+    if center.is_empty() {
+        return Err(TsError::TooShort { required: 1, actual: 0 });
+    }
+    let mut sums = vec![0.0; center.len()];
+    let mut counts = vec![0usize; center.len()];
+    for series in members {
+        let (_, path) = dtw_path(center, series, opts)?;
+        for (ci, sj) in path {
+            sums[ci] += series[sj];
+            counts[ci] += 1;
+        }
+    }
+    Ok(sums
+        .iter()
+        .zip(&counts)
+        .zip(center)
+        .map(|((&s, &c), &old)| if c > 0 { s / c as f64 } else { old })
+        .collect())
+}
+
+/// Full DBA: iterates [`dba_step`] until convergence or `max_iter`.
+pub fn dba(init: &[f64], members: &[&[f64]], opts: DtwOptions, max_iter: usize) -> Result<Vec<f64>> {
+    let mut center = init.to_vec();
+    for _ in 0..max_iter {
+        let next = dba_step(&center, members, opts)?;
+        let delta: f64 = next
+            .iter()
+            .zip(&center)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        center = next;
+        if delta < 1e-8 {
+            break;
+        }
+    }
+    Ok(center)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dtw_identical_is_zero() {
+        let a = [1.0, 2.0, 3.0, 2.0, 1.0];
+        assert!(dtw(&a, &a, DtwOptions::default()).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn dtw_absorbs_time_shift() {
+        // A peak shifted by 2 positions: Euclidean sees a big distance,
+        // DTW warps it away almost entirely.
+        let mut a = vec![0.0; 20];
+        a[5] = 1.0;
+        let mut b = vec![0.0; 20];
+        b[7] = 1.0;
+        let d_dtw = dtw(&a, &b, DtwOptions::default()).unwrap();
+        let d_eu = crate::distance::euclidean(&a, &b).unwrap();
+        assert!(d_dtw < d_eu);
+        assert!(d_dtw < 1e-9);
+    }
+
+    #[test]
+    fn dtw_different_lengths() {
+        let a = [0.0, 1.0, 0.0];
+        let b = [0.0, 0.0, 1.0, 1.0, 0.0, 0.0];
+        let d = dtw(&a, &b, DtwOptions::default()).unwrap();
+        assert!(d.is_finite());
+        assert!(d >= 0.0);
+    }
+
+    #[test]
+    fn dtw_band_widens_to_length_difference() {
+        let a = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [0.0, 5.0];
+        // window 0 would be infeasible; it must be widened internally.
+        let d = dtw(&a, &b, DtwOptions { window: Some(0) }).unwrap();
+        assert!(d.is_finite());
+    }
+
+    #[test]
+    fn dtw_empty_errors() {
+        assert!(dtw(&[], &[1.0], DtwOptions::default()).is_err());
+        assert!(dtw_path(&[1.0], &[], DtwOptions::default()).is_err());
+    }
+
+    #[test]
+    fn dtw_path_endpoints() {
+        let a = [0.0, 1.0, 2.0];
+        let b = [0.0, 2.0];
+        let (d, path) = dtw_path(&a, &b, DtwOptions::default()).unwrap();
+        assert!(d.is_finite());
+        assert_eq!(path.first(), Some(&(0, 0)));
+        assert_eq!(path.last(), Some(&(2, 1)));
+        // Monotone non-decreasing in both indices.
+        for w in path.windows(2) {
+            assert!(w[1].0 >= w[0].0);
+            assert!(w[1].1 >= w[0].1);
+        }
+    }
+
+    #[test]
+    fn dtw_path_distance_matches_dtw() {
+        let a = [1.0, 3.0, 2.0, 0.0, 1.5];
+        let b = [1.2, 2.9, 1.8, 0.2, 1.4];
+        let d1 = dtw(&a, &b, DtwOptions::default()).unwrap();
+        let (d2, _) = dtw_path(&a, &b, DtwOptions::default()).unwrap();
+        assert!((d1 - d2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn banded_dtw_upper_bounds_unbanded() {
+        let a: Vec<f64> = (0..50).map(|i| (i as f64 * 0.3).sin()).collect();
+        let b: Vec<f64> = (0..50).map(|i| (i as f64 * 0.3 + 0.8).sin()).collect();
+        let unb = dtw(&a, &b, DtwOptions::default()).unwrap();
+        let band = dtw(&a, &b, DtwOptions { window: Some(3) }).unwrap();
+        assert!(band >= unb - 1e-12, "banded {band} must be >= unbanded {unb}");
+    }
+
+    #[test]
+    fn dba_of_identical_members_is_member() {
+        let a = [1.0, 2.0, 3.0, 2.0, 1.0];
+        let members: Vec<&[f64]> = vec![&a, &a, &a];
+        let c = dba(&a, &members, DtwOptions::default(), 10).unwrap();
+        for (x, y) in c.iter().zip(&a) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dba_averages_offsets() {
+        let a = [0.0, 0.0, 0.0, 0.0];
+        let b = [2.0, 2.0, 2.0, 2.0];
+        let init = [1.0, 1.0, 1.0, 1.0];
+        let members: Vec<&[f64]> = vec![&a, &b];
+        let c = dba(&init, &members, DtwOptions::default(), 20).unwrap();
+        for x in &c {
+            assert!((x - 1.0).abs() < 1e-9, "expected 1.0, got {x}");
+        }
+    }
+
+    #[test]
+    fn dba_step_empty_center_errors() {
+        let members: Vec<&[f64]> = vec![];
+        assert!(dba_step(&[], &members, DtwOptions::default()).is_err());
+    }
+}

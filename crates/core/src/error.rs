@@ -1,0 +1,86 @@
+//! Error type shared by the workspace's lowest layer.
+
+use std::fmt;
+
+/// Convenient alias used across `tscore`.
+pub type Result<T> = std::result::Result<T, TsError>;
+
+/// Errors produced by time series primitives.
+///
+/// The variants are deliberately coarse: callers in this workspace either
+/// propagate them to the binary entry point or assert on them in tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TsError {
+    /// A series (or subsequence request) was empty or shorter than required.
+    TooShort {
+        /// Length that was required.
+        required: usize,
+        /// Length that was actually available.
+        actual: usize,
+    },
+    /// Two series were required to have matching lengths but did not.
+    LengthMismatch {
+        /// Length of the left operand.
+        left: usize,
+        /// Length of the right operand.
+        right: usize,
+    },
+    /// A parameter was outside its valid domain (e.g. `k = 0`, negative
+    /// bandwidth, window larger than the series).
+    InvalidParameter(String),
+    /// The labels attached to a dataset do not match the number of series.
+    LabelMismatch {
+        /// Number of series in the dataset.
+        series: usize,
+        /// Number of labels supplied.
+        labels: usize,
+    },
+    /// Failure while parsing an on-disk dataset file.
+    Parse(String),
+}
+
+impl fmt::Display for TsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TsError::TooShort { required, actual } => {
+                write!(f, "series too short: required {required}, got {actual}")
+            }
+            TsError::LengthMismatch { left, right } => {
+                write!(f, "length mismatch: {left} vs {right}")
+            }
+            TsError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            TsError::LabelMismatch { series, labels } => {
+                write!(f, "label mismatch: {series} series but {labels} labels")
+            }
+            TsError::Parse(msg) => write!(f, "parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TsError::TooShort { required: 10, actual: 3 };
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains("3"));
+        let e = TsError::LengthMismatch { left: 4, right: 7 };
+        assert!(e.to_string().contains("4"));
+        let e = TsError::InvalidParameter("k must be > 0".into());
+        assert!(e.to_string().contains("k must be > 0"));
+        let e = TsError::LabelMismatch { series: 5, labels: 4 };
+        assert!(e.to_string().contains("5"));
+        let e = TsError::Parse("bad float".into());
+        assert!(e.to_string().contains("bad float"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&TsError::Parse("x".into()));
+    }
+}

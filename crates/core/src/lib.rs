@@ -1,0 +1,29 @@
+//! # tscore — time series primitives
+//!
+//! Foundation crate for the Graphint / k-Graph reproduction. It provides:
+//!
+//! * [`TimeSeries`] and [`Dataset`] containers with class labels,
+//! * descriptive statistics ([`stats`]),
+//! * transformations: z-normalisation, detrending, smoothing, resampling,
+//!   piecewise aggregate approximation ([`transform`]),
+//! * sliding-window subsequence extraction ([`windows`]),
+//! * distance measures: Euclidean, z-normalised Euclidean, shape-based
+//!   distance (SBD, the k-Shape distance) ([`distance`]) and dynamic time
+//!   warping with a Sakoe–Chiba band ([`dtw`]).
+//!
+//! The crate is dependency-free so that every other crate in the workspace
+//! can build on it without pulling anything else in.
+
+pub mod dataset;
+pub mod distance;
+pub mod dtw;
+pub mod error;
+pub mod series;
+pub mod stats;
+pub mod transform;
+pub mod windows;
+
+pub use dataset::{Dataset, DatasetKind};
+pub use error::{Result, TsError};
+pub use series::TimeSeries;
+pub use windows::{SubseqRef, Windows};

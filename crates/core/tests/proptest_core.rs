@@ -1,0 +1,134 @@
+//! Property-based tests for the tscore primitives (crate-local; the
+//! workspace-level suite in `/tests` covers cross-crate properties).
+
+use proptest::prelude::*;
+use tscore::{distance, dtw, stats, transform, windows};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn paa_mean_preservation(xs in proptest::collection::vec(-50.0..50.0f64, 8..64)) {
+        // PAA over segments that divide the length keeps the global mean.
+        let segments = 4;
+        if xs.len() % segments == 0 {
+            let p = transform::paa(&xs, segments).unwrap();
+            let mean_p = stats::mean(&p);
+            let mean_x = stats::mean(&xs);
+            prop_assert!((mean_p - mean_x).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn moving_average_bounded_by_input(
+        xs in proptest::collection::vec(-50.0..50.0f64, 1..40),
+        w in 1usize..9,
+    ) {
+        let s = transform::moving_average(&xs, w).unwrap();
+        prop_assert_eq!(s.len(), xs.len());
+        let lo = stats::min(&xs) - 1e-9;
+        let hi = stats::max(&xs) + 1e-9;
+        prop_assert!(s.iter().all(|&v| v >= lo && v <= hi));
+    }
+
+    #[test]
+    fn detrend_kills_slope(xs in proptest::collection::vec(-10.0..10.0f64, 3..50)) {
+        let d = transform::detrend(&xs);
+        prop_assert!(stats::trend_slope(&d).abs() < 1e-6);
+        prop_assert!(stats::mean(&d).abs() < 1e-6);
+    }
+
+    #[test]
+    fn minmax_into_unit_interval(xs in proptest::collection::vec(-100.0..100.0f64, 1..50)) {
+        let m = transform::minmax_norm(&xs);
+        prop_assert!(m.iter().all(|&v| (-1e-12..=1.0 + 1e-12).contains(&v)));
+    }
+
+    #[test]
+    fn window_count_formula(
+        n in 1usize..200,
+        len in 1usize..50,
+        stride in 1usize..10,
+    ) {
+        let count = windows::window_count(n, len, stride);
+        if n >= len {
+            // Last window start must fit; one more window must not.
+            let last_start = (count - 1) * stride;
+            prop_assert!(last_start + len <= n);
+            prop_assert!(count * stride + len > n);
+        } else {
+            prop_assert_eq!(count, 0);
+        }
+    }
+
+    #[test]
+    fn sbd_shift_consistency(
+        base in proptest::collection::vec(-5.0..5.0f64, 16..=16),
+        shift in -6isize..6,
+    ) {
+        // Shifting any signal never increases its SBD beyond the worst case
+        // and perfect alignment is recovered for small shifts of a padded
+        // signal.
+        let mut padded = vec![0.0; 32];
+        padded[8..24].copy_from_slice(&base);
+        let shifted = distance::apply_shift(&padded, shift);
+        let energy: f64 = base.iter().map(|v| v * v).sum();
+        prop_assume!(energy > 1e-6);
+        let (d, found) = distance::sbd_with_shift(&padded, &shifted).unwrap();
+        prop_assert!(d < 1e-6, "SBD {d} for pure shift");
+        // The detected shift must realign the signals (it need not equal the
+        // applied one: periodic signals tie at several shifts).
+        let aligned = distance::apply_shift(&shifted, found);
+        let gap = distance::euclidean(&padded, &aligned).unwrap();
+        let norm = padded.iter().map(|v| v * v).sum::<f64>().sqrt();
+        prop_assert!(gap < 1e-5 * (1.0 + norm), "gap {gap} after realignment");
+    }
+
+    #[test]
+    fn dtw_symmetric(
+        a in proptest::collection::vec(-5.0..5.0f64, 4..16),
+        b in proptest::collection::vec(-5.0..5.0f64, 4..16),
+    ) {
+        let opts = dtw::DtwOptions::default();
+        let d1 = dtw::dtw(&a, &b, opts).unwrap();
+        let d2 = dtw::dtw(&b, &a, opts).unwrap();
+        prop_assert!((d1 - d2).abs() < 1e-9);
+        prop_assert!(d1 >= 0.0);
+    }
+
+    #[test]
+    fn dba_stays_in_member_envelope(
+        members in proptest::collection::vec(
+            proptest::collection::vec(-5.0..5.0f64, 8..=8),
+            2..5,
+        ),
+    ) {
+        let refs: Vec<&[f64]> = members.iter().map(Vec::as_slice).collect();
+        let init = members[0].clone();
+        let c = dtw::dba(&init, &refs, dtw::DtwOptions::default(), 5).unwrap();
+        // Every centre point is a mean of member points, so it must stay
+        // inside the global min/max envelope.
+        let lo = members.iter().flatten().cloned().fold(f64::INFINITY, f64::min) - 1e-9;
+        let hi = members.iter().flatten().cloned().fold(f64::NEG_INFINITY, f64::max) + 1e-9;
+        prop_assert!(c.iter().all(|&v| v >= lo && v <= hi));
+    }
+
+    #[test]
+    fn five_number_summary_ordered(xs in proptest::collection::vec(-100.0..100.0f64, 1..60)) {
+        let (mn, q1, md, q3, mx) = stats::five_number_summary(&xs);
+        prop_assert!(mn <= q1 + 1e-12);
+        prop_assert!(q1 <= md + 1e-12);
+        prop_assert!(md <= q3 + 1e-12);
+        prop_assert!(q3 <= mx + 1e-12);
+    }
+
+    #[test]
+    fn autocorrelation_at_zero_is_one(xs in proptest::collection::vec(-10.0..10.0f64, 2..50)) {
+        prop_assume!(stats::std(&xs) > 1e-6);
+        prop_assert!((stats::autocorrelation(&xs, 0) - 1.0).abs() < 1e-9);
+        // And |acf| ≤ 1 at any lag.
+        for lag in 1..xs.len().min(5) {
+            prop_assert!(stats::autocorrelation(&xs, lag).abs() <= 1.0 + 1e-9);
+        }
+    }
+}

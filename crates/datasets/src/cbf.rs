@@ -1,0 +1,138 @@
+//! Cylinder–Bell–Funnel (Saito 1994), the canonical synthetic time series
+//! classification benchmark, following the published generative model:
+//!
+//! * cylinder: `c(t) = (6 + η) · 𝟙[a ≤ t ≤ b] + ε(t)`
+//! * bell:     `b(t) = (6 + η) · 𝟙[a ≤ t ≤ b] · (t − a)/(b − a) + ε(t)`
+//! * funnel:   `f(t) = (6 + η) · 𝟙[a ≤ t ≤ b] · (b − t)/(b − a) + ε(t)`
+//!
+//! with `a ~ U[16, 32]`, `b − a ~ U[32, 96]`, `η, ε(t) ~ N(0, 1)` for the
+//! classic length of 128.
+
+use crate::noise::randn;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tscore::{Dataset, DatasetKind, TimeSeries};
+
+/// The three CBF classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CbfClass {
+    /// Plateau shape.
+    Cylinder,
+    /// Rising ramp shape.
+    Bell,
+    /// Falling ramp shape.
+    Funnel,
+}
+
+/// Generates one CBF series of length `n` (classically 128).
+pub fn cbf_series(class: CbfClass, n: usize, rng: &mut StdRng) -> Vec<f64> {
+    // Onset and duration scale with n so other lengths stay sensible.
+    let scale = n as f64 / 128.0;
+    let a = rng.gen_range(16.0 * scale..32.0 * scale);
+    let dur = rng.gen_range(32.0 * scale..96.0 * scale);
+    let b = (a + dur).min(n as f64 - 1.0);
+    let eta = randn(rng);
+    (0..n)
+        .map(|i| {
+            let t = i as f64;
+            let eps = randn(rng);
+            if t < a || t > b {
+                eps
+            } else {
+                let shape = match class {
+                    CbfClass::Cylinder => 1.0,
+                    CbfClass::Bell => (t - a) / (b - a).max(1e-9),
+                    CbfClass::Funnel => (b - t) / (b - a).max(1e-9),
+                };
+                (6.0 + eta) * shape + eps
+            }
+        })
+        .collect()
+}
+
+/// Generates a balanced CBF dataset: `per_class` series per class,
+/// length `n`, labels 0 = cylinder, 1 = bell, 2 = funnel.
+pub fn cbf(per_class: usize, n: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut series = Vec::with_capacity(per_class * 3);
+    let mut labels = Vec::with_capacity(per_class * 3);
+    for rep in 0..per_class {
+        for (label, class) in [CbfClass::Cylinder, CbfClass::Bell, CbfClass::Funnel]
+            .into_iter()
+            .enumerate()
+        {
+            let mut ts = TimeSeries::new(cbf_series(class, n, &mut rng));
+            ts.set_name(format!("cbf-{label}-{rep}"));
+            series.push(ts);
+            labels.push(label);
+        }
+    }
+    Dataset::with_labels("CBF", DatasetKind::Simulated, series, labels)
+        .expect("labels match by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tscore::stats;
+
+    #[test]
+    fn dataset_shape() {
+        let d = cbf(10, 128, 0);
+        assert_eq!(d.len(), 30);
+        assert_eq!(d.n_classes(), 3);
+        assert!(d.is_equal_length());
+        assert_eq!(d.min_len(), 128);
+        assert_eq!(d.class_counts(), vec![10, 10, 10]);
+    }
+
+    #[test]
+    fn cylinder_has_plateau() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = cbf_series(CbfClass::Cylinder, 128, &mut rng);
+        // Peak region mean must be clearly above the baseline noise.
+        let peak = stats::max(&s);
+        assert!(peak > 4.0, "peak {peak}");
+        // Substantial mass above 3 (the plateau), unlike bell/funnel tails.
+        let above: usize = s.iter().filter(|&&x| x > 3.0).count();
+        assert!(above >= 20, "plateau length {above}");
+    }
+
+    #[test]
+    fn bell_rises_funnel_falls() {
+        let mut rng = StdRng::seed_from_u64(2);
+        // Average many series so the ramp direction shows despite noise.
+        let n = 128;
+        let mut bell_mean = vec![0.0; n];
+        let mut funnel_mean = vec![0.0; n];
+        for _ in 0..100 {
+            for (acc, class) in [(&mut bell_mean, CbfClass::Bell), (&mut funnel_mean, CbfClass::Funnel)] {
+                let s = cbf_series(class, n, &mut rng);
+                for (a, v) in acc.iter_mut().zip(&s) {
+                    *a += v;
+                }
+            }
+        }
+        let bell_slope = stats::trend_slope(&bell_mean[30..90]);
+        let funnel_slope = stats::trend_slope(&funnel_mean[30..90]);
+        assert!(bell_slope > 0.0, "bell should rise, slope {bell_slope}");
+        assert!(funnel_slope < 0.0, "funnel should fall, slope {funnel_slope}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = cbf(5, 64, 42);
+        let b = cbf(5, 64, 42);
+        assert_eq!(a.series()[0].values(), b.series()[0].values());
+        let c = cbf(5, 64, 43);
+        assert_ne!(a.series()[0].values(), c.series()[0].values());
+    }
+
+    #[test]
+    fn nonstandard_length() {
+        let d = cbf(3, 64, 0);
+        assert_eq!(d.min_len(), 64);
+        let d2 = cbf(3, 256, 0);
+        assert_eq!(d2.min_len(), 256);
+    }
+}

@@ -1,0 +1,152 @@
+//! Synthetic Control Chart time series (Alcock & Manolopoulos 1999).
+//!
+//! Six classes over a baseline `m = 30`:
+//! normal, cyclic, increasing trend, decreasing trend, upward shift,
+//! downward shift — the published generative definitions with
+//! uniform-noise terms.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tscore::{Dataset, DatasetKind, TimeSeries};
+
+/// The six control-chart classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlClass {
+    /// Baseline + noise.
+    Normal,
+    /// Baseline + sinusoid.
+    Cyclic,
+    /// Baseline + positive ramp.
+    IncreasingTrend,
+    /// Baseline + negative ramp.
+    DecreasingTrend,
+    /// Baseline with a positive level shift after a random onset.
+    UpwardShift,
+    /// Baseline with a negative level shift after a random onset.
+    DownwardShift,
+}
+
+/// All six classes in label order.
+pub const CONTROL_CLASSES: [ControlClass; 6] = [
+    ControlClass::Normal,
+    ControlClass::Cyclic,
+    ControlClass::IncreasingTrend,
+    ControlClass::DecreasingTrend,
+    ControlClass::UpwardShift,
+    ControlClass::DownwardShift,
+];
+
+/// Generates one control-chart series of length `n` (classically 60).
+pub fn control_series(class: ControlClass, n: usize, rng: &mut StdRng) -> Vec<f64> {
+    let m = 30.0;
+    // Published parameter ranges.
+    let r = |rng: &mut StdRng| rng.gen_range(-3.0..3.0); // noise
+    match class {
+        ControlClass::Normal => (0..n).map(|_| m + r(rng)).collect(),
+        ControlClass::Cyclic => {
+            let amp = rng.gen_range(10.0..15.0);
+            let period = rng.gen_range(10.0..15.0);
+            (0..n)
+                .map(|t| m + r(rng) + amp * (2.0 * std::f64::consts::PI * t as f64 / period).sin())
+                .collect()
+        }
+        ControlClass::IncreasingTrend => {
+            let g = rng.gen_range(0.2..0.5);
+            (0..n).map(|t| m + r(rng) + g * t as f64).collect()
+        }
+        ControlClass::DecreasingTrend => {
+            let g = rng.gen_range(0.2..0.5);
+            (0..n).map(|t| m + r(rng) - g * t as f64).collect()
+        }
+        ControlClass::UpwardShift => {
+            let onset = rng.gen_range(n / 3..2 * n / 3);
+            let x = rng.gen_range(7.5..20.0);
+            (0..n)
+                .map(|t| m + r(rng) + if t >= onset { x } else { 0.0 })
+                .collect()
+        }
+        ControlClass::DownwardShift => {
+            let onset = rng.gen_range(n / 3..2 * n / 3);
+            let x = rng.gen_range(7.5..20.0);
+            (0..n)
+                .map(|t| m + r(rng) - if t >= onset { x } else { 0.0 })
+                .collect()
+        }
+    }
+}
+
+/// Generates a balanced Synthetic Control dataset (`per_class` × 6 series).
+pub fn synthetic_control(per_class: usize, n: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut series = Vec::with_capacity(per_class * 6);
+    let mut labels = Vec::with_capacity(per_class * 6);
+    for rep in 0..per_class {
+        for (label, class) in CONTROL_CLASSES.into_iter().enumerate() {
+            let mut ts = TimeSeries::new(control_series(class, n, &mut rng));
+            ts.set_name(format!("cc-{label}-{rep}"));
+            series.push(ts);
+            labels.push(label);
+        }
+    }
+    Dataset::with_labels("SyntheticControl", DatasetKind::Simulated, series, labels)
+        .expect("labels match by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tscore::stats;
+
+    #[test]
+    fn dataset_shape() {
+        let d = synthetic_control(5, 60, 0);
+        assert_eq!(d.len(), 30);
+        assert_eq!(d.n_classes(), 6);
+        assert!(d.is_equal_length());
+    }
+
+    #[test]
+    fn trends_have_expected_slopes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let up = control_series(ControlClass::IncreasingTrend, 60, &mut rng);
+        let down = control_series(ControlClass::DecreasingTrend, 60, &mut rng);
+        assert!(stats::trend_slope(&up) > 0.1);
+        assert!(stats::trend_slope(&down) < -0.1);
+    }
+
+    #[test]
+    fn shifts_change_level() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let up = control_series(ControlClass::UpwardShift, 60, &mut rng);
+        let head = stats::mean(&up[..15]);
+        let tail = stats::mean(&up[45..]);
+        assert!(tail - head > 4.0, "shift not visible: {head} → {tail}");
+        let down = control_series(ControlClass::DownwardShift, 60, &mut rng);
+        let head = stats::mean(&down[..15]);
+        let tail = stats::mean(&down[45..]);
+        assert!(head - tail > 4.0);
+    }
+
+    #[test]
+    fn cyclic_oscillates_more_than_normal() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let cyc = control_series(ControlClass::Cyclic, 60, &mut rng);
+        let norm = control_series(ControlClass::Normal, 60, &mut rng);
+        assert!(stats::std(&cyc) > stats::std(&norm) * 2.0);
+    }
+
+    #[test]
+    fn normal_stays_near_baseline() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = control_series(ControlClass::Normal, 60, &mut rng);
+        assert!((stats::mean(&s) - 30.0).abs() < 1.5);
+        assert!(stats::std(&s) < 3.0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = synthetic_control(3, 60, 5);
+        let b = synthetic_control(3, 60, 5);
+        assert_eq!(a.series()[7].values(), b.series()[7].values());
+    }
+}

@@ -1,0 +1,27 @@
+//! # datasets — labelled time series dataset generators and loaders
+//!
+//! The Graphint demo runs on UCR-archive datasets. The archive is not
+//! redistributable inside this repository, so this crate provides:
+//!
+//! * **exact implementations of the classically synthetic UCR datasets** —
+//!   Cylinder-Bell-Funnel ([`cbf`]), Two Patterns ([`two_patterns`]) and
+//!   Synthetic Control ([`control`]) follow their published generative
+//!   definitions,
+//! * **UCR-like families** ([`shapes`]) spanning the Benchmark frame's
+//!   filter dimensions (dataset type, series length, #classes, #series):
+//!   trace-like transients, gun-point-like motions, ECG-like beats, device
+//!   load profiles, chirps, seismic events and spectrograph-like curves,
+//! * a [`registry`] with a default benchmark collection,
+//! * a [`ucr`] TSV loader for real UCR data when a copy is available.
+//!
+//! Every generator is deterministic given its seed.
+
+pub mod cbf;
+pub mod control;
+pub mod noise;
+pub mod registry;
+pub mod shapes;
+pub mod two_patterns;
+pub mod ucr;
+
+pub use registry::{default_collection, quick_collection, DatasetSpec};

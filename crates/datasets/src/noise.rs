@@ -1,0 +1,127 @@
+//! Random signal building blocks shared by the generators.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Standard normal sample via Box–Muller (rand 0.8 has no Normal distr
+/// without `rand_distr`, which is outside the dependency budget).
+pub fn randn(rng: &mut StdRng) -> f64 {
+    // Avoid log(0).
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Vector of iid N(0, σ²) samples.
+pub fn gaussian_noise(rng: &mut StdRng, n: usize, sigma: f64) -> Vec<f64> {
+    (0..n).map(|_| randn(rng) * sigma).collect()
+}
+
+/// Gaussian random walk with step σ.
+pub fn random_walk(rng: &mut StdRng, n: usize, sigma: f64) -> Vec<f64> {
+    let mut acc = 0.0;
+    (0..n)
+        .map(|_| {
+            acc += randn(rng) * sigma;
+            acc
+        })
+        .collect()
+}
+
+/// First-order autoregressive process `x_t = φ·x_{t−1} + ε_t`.
+pub fn ar1(rng: &mut StdRng, n: usize, phi: f64, sigma: f64) -> Vec<f64> {
+    let mut x = 0.0;
+    (0..n)
+        .map(|_| {
+            x = phi * x + randn(rng) * sigma;
+            x
+        })
+        .collect()
+}
+
+/// Gaussian bump `amp · exp(−((i − center)/width)²)` evaluated on `0..n`.
+pub fn gaussian_bump(n: usize, center: f64, width: f64, amp: f64) -> Vec<f64> {
+    (0..n)
+        .map(|i| amp * (-((i as f64 - center) / width).powi(2)).exp())
+        .collect()
+}
+
+/// Adds `b` into `a` element-wise (lengths must match).
+pub fn add_into(a: &mut [f64], b: &[f64]) {
+    debug_assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter_mut().zip(b) {
+        *x += y;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn randn_moments() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let xs: Vec<f64> = (0..20000).map(|_| randn(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn noise_scaled_by_sigma() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let xs = gaussian_noise(&mut rng, 10000, 3.0);
+        let var = xs.iter().map(|x| x * x).sum::<f64>() / xs.len() as f64;
+        assert!((var - 9.0).abs() < 0.7, "var {var}");
+    }
+
+    #[test]
+    fn walk_is_cumulative() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let w = random_walk(&mut rng, 100, 1.0);
+        assert_eq!(w.len(), 100);
+        // Variance grows with t: late spread exceeds early spread on average
+        // (weak check: the walk must move).
+        assert!(w.iter().any(|&x| x.abs() > 1.0));
+    }
+
+    #[test]
+    fn ar1_stationary_variance() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let xs = ar1(&mut rng, 50000, 0.8, 1.0);
+        let tail = &xs[1000..];
+        let mean = tail.iter().sum::<f64>() / tail.len() as f64;
+        let var = tail.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / tail.len() as f64;
+        // Theoretical stationary variance: σ²/(1−φ²) = 1/0.36 ≈ 2.78.
+        assert!((var - 2.78).abs() < 0.4, "var {var}");
+    }
+
+    #[test]
+    fn bump_peak_location() {
+        let b = gaussian_bump(50, 20.0, 3.0, 2.0);
+        let argmax = b
+            .iter()
+            .enumerate()
+            .max_by(|x, y| x.1.partial_cmp(y.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(argmax, 20);
+        assert!((b[20] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = gaussian_noise(&mut StdRng::seed_from_u64(7), 10, 1.0);
+        let b = gaussian_noise(&mut StdRng::seed_from_u64(7), 10, 1.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn add_into_sums() {
+        let mut a = vec![1.0, 2.0];
+        add_into(&mut a, &[10.0, 20.0]);
+        assert_eq!(a, vec![11.0, 22.0]);
+    }
+}

@@ -1,0 +1,113 @@
+//! Named dataset registry and the default benchmark collection.
+//!
+//! The Benchmark frame filters datasets by type, series length, number of
+//! classes and number of series; [`default_collection`] spans those axes.
+
+use crate::{cbf, control, shapes, two_patterns};
+use tscore::Dataset;
+
+/// Metadata + constructor for one benchmark dataset.
+pub struct DatasetSpec {
+    /// Unique name.
+    pub name: &'static str,
+    /// Generator (seeded internally so the collection is reproducible).
+    pub build: fn() -> Dataset,
+}
+
+impl std::fmt::Debug for DatasetSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DatasetSpec({})", self.name)
+    }
+}
+
+/// The full benchmark collection (12 datasets across 6 type tags, lengths
+/// 60–256, 2–6 classes, 36–120 series).
+pub fn default_collection() -> Vec<DatasetSpec> {
+    vec![
+        DatasetSpec { name: "CBF", build: || cbf::cbf(20, 128, 101) },
+        DatasetSpec { name: "TwoPatterns", build: || two_patterns::two_patterns(15, 128, 102) },
+        DatasetSpec { name: "SyntheticControl", build: || control::synthetic_control(10, 60, 103) },
+        DatasetSpec { name: "TraceLike", build: || shapes::trace_like(15, 150, 104) },
+        DatasetSpec { name: "GunPointLike", build: || shapes::gunpoint_like(25, 120, 105) },
+        DatasetSpec { name: "EcgLike", build: || shapes::ecg_like(20, 192, 106) },
+        DatasetSpec { name: "DeviceLike", build: || shapes::device_like(20, 96, 107) },
+        DatasetSpec { name: "ChirpLike", build: || shapes::chirp_like(16, 160, 108) },
+        DatasetSpec { name: "SeismicLike", build: || shapes::seismic_like(25, 200, 109) },
+        DatasetSpec { name: "SpectroLike", build: || shapes::spectro_like(12, 256, 110) },
+        DatasetSpec { name: "CBF-small", build: || cbf::cbf(12, 64, 111) },
+        DatasetSpec { name: "TwoPatterns-long", build: || two_patterns::two_patterns(9, 256, 112) },
+    ]
+}
+
+/// A small, fast subset used by examples and smoke tests.
+pub fn quick_collection() -> Vec<DatasetSpec> {
+    vec![
+        DatasetSpec { name: "CBF", build: || cbf::cbf(10, 64, 201) },
+        DatasetSpec { name: "TraceLike", build: || shapes::trace_like(8, 100, 202) },
+        DatasetSpec { name: "DeviceLike", build: || shapes::device_like(10, 96, 203) },
+    ]
+}
+
+/// Builds a dataset from the default collection by name.
+pub fn by_name(name: &str) -> Option<Dataset> {
+    default_collection()
+        .into_iter()
+        .find(|s| s.name == name)
+        .map(|s| (s.build)())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collection_names_unique_and_buildable() {
+        let specs = default_collection();
+        let names: std::collections::HashSet<_> = specs.iter().map(|s| s.name).collect();
+        assert_eq!(names.len(), specs.len());
+        for spec in &specs {
+            let d = (spec.build)();
+            assert!(!d.is_empty(), "{} empty", spec.name);
+            assert!(d.n_classes() >= 2, "{} has < 2 classes", spec.name);
+            assert!(d.labels().is_some(), "{} unlabelled", spec.name);
+        }
+    }
+
+    #[test]
+    fn collection_spans_filter_axes() {
+        let specs = default_collection();
+        let datasets: Vec<Dataset> = specs.iter().map(|s| (s.build)()).collect();
+        let kinds: std::collections::HashSet<_> =
+            datasets.iter().map(|d| d.kind().as_str()).collect();
+        assert!(kinds.len() >= 4, "kinds {kinds:?}");
+        let lens: Vec<usize> = datasets.iter().map(|d| d.min_len()).collect();
+        assert!(lens.iter().min().unwrap() < &100);
+        assert!(lens.iter().max().unwrap() >= &192);
+        let classes: Vec<usize> = datasets.iter().map(|d| d.n_classes()).collect();
+        assert!(classes.contains(&2));
+        assert!(classes.iter().any(|&c| c >= 4));
+    }
+
+    #[test]
+    fn by_name_lookup() {
+        assert!(by_name("CBF").is_some());
+        assert!(by_name("NoSuchDataset").is_none());
+    }
+
+    #[test]
+    fn builds_are_reproducible() {
+        let a = by_name("TraceLike").unwrap();
+        let b = by_name("TraceLike").unwrap();
+        assert_eq!(a.series()[0].values(), b.series()[0].values());
+    }
+
+    #[test]
+    fn quick_collection_is_small() {
+        let specs = quick_collection();
+        assert!(specs.len() <= 4);
+        for s in specs {
+            let d = (s.build)();
+            assert!(d.len() <= 40, "{} too big for quick runs", d.name());
+        }
+    }
+}

@@ -1,0 +1,371 @@
+//! UCR-like dataset families beyond the three classic synthetic benchmarks.
+//!
+//! Each generator produces a labelled [`Dataset`] tagged with the UCR-style
+//! [`DatasetKind`] that Graphint's Benchmark frame filters on. The families
+//! were designed so that different *methods* win on different families —
+//! that heterogeneity is what the benchmark box plots visualise:
+//!
+//! * [`trace_like`] — transient oscillations after class-specific events
+//!   (sensor; motifs at class-specific positions: k-Graph territory),
+//! * [`gunpoint_like`] — smooth unimodal motions differing in width/峰
+//!   symmetry (motion; subtle raw-shape differences),
+//! * [`ecg_like`] — PQRST-style beats with class-specific anomalies (ECG),
+//! * [`device_like`] — daily load profiles with class-specific on/off
+//!   blocks (device; level-based, easy for raw methods),
+//! * [`chirp_like`] — frequency sweeps with class-specific sweep rates
+//!   (sensor; spectral structure),
+//! * [`seismic_like`] — random walks with class-specific event bursts
+//!   (sensor; noisy, hard),
+//! * [`spectro_like`] — smooth mixture-of-Gaussian curves (spectro).
+
+use crate::noise::{add_into, ar1, gaussian_bump, gaussian_noise, randn, random_walk};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tscore::{Dataset, DatasetKind, TimeSeries};
+
+fn build(
+    name: &str,
+    kind: DatasetKind,
+    per_class: usize,
+    classes: usize,
+    mut gen: impl FnMut(usize, &mut StdRng) -> Vec<f64>,
+    seed: u64,
+) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut series = Vec::with_capacity(per_class * classes);
+    let mut labels = Vec::with_capacity(per_class * classes);
+    for rep in 0..per_class {
+        for label in 0..classes {
+            let mut ts = TimeSeries::new(gen(label, &mut rng));
+            ts.set_name(format!("{name}-{label}-{rep}"));
+            series.push(ts);
+            labels.push(label);
+        }
+    }
+    Dataset::with_labels(name, kind, series, labels).expect("labels match by construction")
+}
+
+/// Trace-like (4 classes): a calm AR(1) baseline interrupted by a
+/// class-specific transient — early ringing, late ringing, a slow swell or
+/// a sharp dip. Length `n`, `per_class` series per class.
+pub fn trace_like(per_class: usize, n: usize, seed: u64) -> Dataset {
+    build("TraceLike", DatasetKind::Sensor, per_class, 4, move |label, rng| {
+        let mut s = ar1(rng, n, 0.5, 0.15);
+        let jitter = rng.gen_range(-(n as f64) * 0.03..(n as f64) * 0.03);
+        match label {
+            0 => {
+                // Early damped ringing.
+                let c = n as f64 * 0.25 + jitter;
+                for (i, v) in s.iter_mut().enumerate() {
+                    let t = i as f64 - c;
+                    if t >= 0.0 {
+                        *v += 3.0 * (-t / (n as f64 * 0.08)).exp() * (t * 0.8).sin();
+                    }
+                }
+            }
+            1 => {
+                // Late damped ringing.
+                let c = n as f64 * 0.65 + jitter;
+                for (i, v) in s.iter_mut().enumerate() {
+                    let t = i as f64 - c;
+                    if t >= 0.0 {
+                        *v += 3.0 * (-t / (n as f64 * 0.08)).exp() * (t * 0.8).sin();
+                    }
+                }
+            }
+            2 => {
+                // Slow swell in the middle.
+                add_into(&mut s, &gaussian_bump(n, n as f64 * 0.5 + jitter, n as f64 * 0.15, 2.5));
+            }
+            _ => {
+                // Sharp dip.
+                add_into(&mut s, &gaussian_bump(n, n as f64 * 0.5 + jitter, n as f64 * 0.03, -4.0));
+            }
+        }
+        s
+    }, seed)
+}
+
+/// Gun-point-like (2 classes): a smooth raise-hold-lower motion; class 0 is
+/// symmetric, class 1 overshoots on the way down (the "gun" dip).
+pub fn gunpoint_like(per_class: usize, n: usize, seed: u64) -> Dataset {
+    build("GunPointLike", DatasetKind::Motion, per_class, 2, move |label, rng| {
+        let rise = n as f64 * rng.gen_range(0.2..0.3);
+        let fall = n as f64 * rng.gen_range(0.7..0.8);
+        let width = n as f64 * 0.06;
+        let mut s: Vec<f64> = (0..n)
+            .map(|i| {
+                let t = i as f64;
+                let up = 1.0 / (1.0 + (-(t - rise) / width).exp());
+                let down = 1.0 / (1.0 + (-(t - fall) / width).exp());
+                2.0 * (up - down)
+            })
+            .collect();
+        if label == 1 {
+            // Overshoot dip right after lowering.
+            add_into(&mut s, &gaussian_bump(n, fall + width * 2.0, width, -0.8));
+        }
+        add_into(&mut s, &gaussian_noise(rng, n, 0.05));
+        s
+    }, seed)
+}
+
+/// ECG-like (3 classes): synthetic PQRST beats repeated across the series;
+/// class 0 normal, class 1 has depressed ST segments, class 2 has premature
+/// (early, wide) R peaks every other beat.
+pub fn ecg_like(per_class: usize, n: usize, seed: u64) -> Dataset {
+    build("EcgLike", DatasetKind::Ecg, per_class, 3, move |label, rng| {
+        let beat_len = (n / 4).max(24);
+        let mut s = gaussian_noise(rng, n, 0.05);
+        let mut beat_idx = 0usize;
+        let mut pos = rng.gen_range(0..beat_len / 2);
+        while pos + beat_len <= n {
+            let b = pos as f64;
+            let l = beat_len as f64;
+            // P wave, QRS complex, T wave as bumps.
+            add_into(&mut s, &gaussian_bump(n, b + 0.15 * l, 0.04 * l, 0.25));
+            add_into(&mut s, &gaussian_bump(n, b + 0.38 * l, 0.015 * l, -0.3));
+            let premature = label == 2 && beat_idx % 2 == 1;
+            let r_center = if premature { b + 0.34 * l } else { b + 0.42 * l };
+            let r_width = if premature { 0.05 * l } else { 0.025 * l };
+            add_into(&mut s, &gaussian_bump(n, r_center, r_width, 2.2));
+            add_into(&mut s, &gaussian_bump(n, b + 0.47 * l, 0.02 * l, -0.35));
+            let t_amp = 0.5;
+            add_into(&mut s, &gaussian_bump(n, b + 0.68 * l, 0.07 * l, t_amp));
+            if label == 1 {
+                // ST depression between QRS and T.
+                add_into(&mut s, &gaussian_bump(n, b + 0.56 * l, 0.06 * l, -0.45));
+            }
+            beat_idx += 1;
+            pos += beat_len;
+        }
+        s
+    }, seed)
+}
+
+/// Device-like (3 classes): base load plus class-specific on/off blocks —
+/// morning block, evening block, or twin short spikes.
+pub fn device_like(per_class: usize, n: usize, seed: u64) -> Dataset {
+    build("DeviceLike", DatasetKind::Device, per_class, 3, move |label, rng| {
+        let mut s: Vec<f64> = gaussian_noise(rng, n, 0.1);
+        for v in s.iter_mut() {
+            *v += 0.5; // standby load
+        }
+        let block = |s: &mut Vec<f64>, from: usize, to: usize, level: f64| {
+            for v in s[from..to.min(n)].iter_mut() {
+                *v += level;
+            }
+        };
+        let j = rng.gen_range(0..n / 12 + 1);
+        match label {
+            0 => block(&mut s, n / 6 + j, n / 2 + j, 2.0),
+            1 => block(&mut s, n / 2 + j, 5 * n / 6 + j, 2.0),
+            _ => {
+                block(&mut s, n / 5 + j, n / 5 + n / 12 + j, 3.0);
+                block(&mut s, 3 * n / 5 + j, 3 * n / 5 + n / 12 + j, 3.0);
+            }
+        }
+        s
+    }, seed)
+}
+
+/// Chirp-like (3 classes): linear frequency sweeps with class-specific
+/// start/end frequencies (slow→slow, slow→fast, fast→slow).
+pub fn chirp_like(per_class: usize, n: usize, seed: u64) -> Dataset {
+    build("ChirpLike", DatasetKind::Sensor, per_class, 3, move |label, rng| {
+        let (f0, f1) = match label {
+            0 => (0.02, 0.05),
+            1 => (0.02, 0.25),
+            _ => (0.25, 0.02),
+        };
+        let phase0 = rng.gen_range(0.0..std::f64::consts::TAU);
+        let mut phase = phase0;
+        let mut s = Vec::with_capacity(n);
+        for i in 0..n {
+            let frac = i as f64 / n as f64;
+            let f = f0 + (f1 - f0) * frac;
+            phase += std::f64::consts::TAU * f;
+            s.push(phase.sin() + randn(rng) * 0.1);
+        }
+        s
+    }, seed)
+}
+
+/// Seismic-like (2 classes): a drifting random walk; class 1 additionally
+/// carries a burst of high-frequency energy at a random position.
+pub fn seismic_like(per_class: usize, n: usize, seed: u64) -> Dataset {
+    build("SeismicLike", DatasetKind::Sensor, per_class, 2, move |label, rng| {
+        let mut s = random_walk(rng, n, 0.3);
+        if label == 1 {
+            let onset = rng.gen_range(n / 4..3 * n / 4);
+            let dur = n / 6;
+            for (t, v) in s[onset..(onset + dur).min(n)].iter_mut().enumerate() {
+                let t = t as f64;
+                let envelope = (-t / (dur as f64 / 3.0)).exp();
+                *v += 4.0 * envelope * (t * 1.9).sin();
+            }
+        }
+        s
+    }, seed)
+}
+
+/// Spectro-like (4 classes): smooth absorption curves — mixtures of 2–3
+/// Gaussian "bands" whose positions are class-specific.
+pub fn spectro_like(per_class: usize, n: usize, seed: u64) -> Dataset {
+    build("SpectroLike", DatasetKind::Spectro, per_class, 4, move |label, rng| {
+        let mut s = gaussian_noise(rng, n, 0.02);
+        let nf = n as f64;
+        let bands: &[(f64, f64, f64)] = match label {
+            0 => &[(0.25, 0.05, 1.0), (0.7, 0.08, 0.6)],
+            1 => &[(0.35, 0.05, 1.0), (0.7, 0.08, 0.6)],
+            2 => &[(0.25, 0.05, 1.0), (0.55, 0.04, 0.9)],
+            _ => &[(0.5, 0.12, 0.8)],
+        };
+        for &(c, w, a) in bands {
+            let jc = c + rng.gen_range(-0.02..0.02);
+            let amp = a * rng.gen_range(0.85..1.15);
+            add_into(&mut s, &gaussian_bump(n, jc * nf, w * nf, amp));
+        }
+        s
+    }, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tscore::stats;
+
+    type GenFn = Box<dyn Fn(u64) -> Dataset>;
+
+    #[test]
+    fn all_generators_shape_and_determinism() {
+        let gens: Vec<(&str, GenFn)> = vec![
+            ("trace", Box::new(|s| trace_like(5, 100, s))),
+            ("gunpoint", Box::new(|s| gunpoint_like(5, 100, s))),
+            ("ecg", Box::new(|s| ecg_like(5, 120, s))),
+            ("device", Box::new(|s| device_like(5, 96, s))),
+            ("chirp", Box::new(|s| chirp_like(5, 100, s))),
+            ("seismic", Box::new(|s| seismic_like(5, 100, s))),
+            ("spectro", Box::new(|s| spectro_like(5, 100, s))),
+        ];
+        for (name, g) in gens {
+            let a = g(7);
+            let b = g(7);
+            assert!(!a.is_empty(), "{name} empty");
+            assert!(a.is_equal_length(), "{name} ragged");
+            assert!(a.n_classes() >= 2, "{name} classes");
+            assert_eq!(
+                a.series()[0].values(),
+                b.series()[0].values(),
+                "{name} not deterministic"
+            );
+            for s in a.series() {
+                assert!(s.values().iter().all(|v| v.is_finite()), "{name} non-finite");
+            }
+        }
+    }
+
+    #[test]
+    fn trace_classes_differ_in_event_position() {
+        let d = trace_like(20, 100, 0);
+        // Class 0 events early, class 1 late: compare energy in halves.
+        let energy = |xs: &[f64]| xs.iter().map(|v| v * v).sum::<f64>();
+        let mut early_front = 0.0;
+        let mut late_front = 0.0;
+        for (s, &l) in d.series().iter().zip(d.labels().unwrap()) {
+            let front = energy(&s.values()[..50]);
+            let back = energy(&s.values()[50..]);
+            if l == 0 {
+                early_front += front / (front + back);
+            } else if l == 1 {
+                late_front += front / (front + back);
+            }
+        }
+        assert!(early_front > late_front, "{early_front} vs {late_front}");
+    }
+
+    #[test]
+    fn gunpoint_dip_only_in_class1() {
+        let d = gunpoint_like(10, 120, 1);
+        let mut min0: f64 = f64::INFINITY;
+        let mut min1: f64 = f64::INFINITY;
+        for (s, &l) in d.series().iter().zip(d.labels().unwrap()) {
+            let m = stats::min(s.values());
+            if l == 0 {
+                min0 = min0.min(m);
+            } else {
+                min1 = min1.min(m);
+            }
+        }
+        assert!(min1 < min0 - 0.3, "class 1 should dip: {min1} vs {min0}");
+    }
+
+    #[test]
+    fn device_classes_active_in_different_windows() {
+        let d = device_like(10, 96, 2);
+        let mut m0 = 0.0;
+        let mut m1 = 0.0;
+        for (s, &l) in d.series().iter().zip(d.labels().unwrap()) {
+            let first_half = stats::mean(&s.values()[..48]);
+            let second_half = stats::mean(&s.values()[48..]);
+            if l == 0 {
+                m0 += first_half - second_half;
+            } else if l == 1 {
+                m1 += first_half - second_half;
+            }
+        }
+        assert!(m0 > 0.0, "class 0 loads early");
+        assert!(m1 < 0.0, "class 1 loads late");
+    }
+
+    #[test]
+    fn chirp_frequencies_differ() {
+        let d = chirp_like(5, 128, 0);
+        // Mean crossings approximate frequency: class 1 (→fast) should have
+        // more crossings than class 0 (slow).
+        let mut c0 = 0.0;
+        let mut c1 = 0.0;
+        for (s, &l) in d.series().iter().zip(d.labels().unwrap()) {
+            let crossings = stats::mean_crossings(s.values()) as f64;
+            if l == 0 {
+                c0 += crossings;
+            } else if l == 1 {
+                c1 += crossings;
+            }
+        }
+        assert!(c1 > c0 * 1.5, "{c1} vs {c0}");
+    }
+
+    #[test]
+    fn seismic_burst_increases_roughness() {
+        let d = seismic_like(15, 128, 0);
+        let roughness = |xs: &[f64]| -> f64 {
+            xs.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>()
+        };
+        let mut r0 = 0.0;
+        let mut r1 = 0.0;
+        for (s, &l) in d.series().iter().zip(d.labels().unwrap()) {
+            if l == 0 {
+                r0 += roughness(s.values());
+            } else {
+                r1 += roughness(s.values());
+            }
+        }
+        assert!(r1 > r0, "{r1} vs {r0}");
+    }
+
+    #[test]
+    fn spectro_smooth_curves() {
+        let d = spectro_like(5, 100, 0);
+        for s in d.series() {
+            // Smoothness: adjacent deltas stay small relative to range.
+            let range = stats::max(s.values()) - stats::min(s.values());
+            let max_delta = s
+                .values()
+                .windows(2)
+                .map(|w| (w[1] - w[0]).abs())
+                .fold(0.0f64, f64::max);
+            assert!(max_delta < range * 0.5, "not smooth: {max_delta} vs {range}");
+        }
+    }
+}

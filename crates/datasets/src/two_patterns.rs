@@ -1,0 +1,124 @@
+//! Two Patterns (Geurts 2002): four classes defined by the order of two
+//! step events — up-up, up-down, down-up, down-down — embedded at random
+//! positions in a noisy baseline.
+
+use crate::noise::randn;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tscore::{Dataset, DatasetKind, TimeSeries};
+
+/// The four event-order classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TpClass {
+    /// up then up
+    UpUp,
+    /// up then down
+    UpDown,
+    /// down then up
+    DownUp,
+    /// down then down
+    DownDown,
+}
+
+impl TpClass {
+    fn signs(&self) -> (f64, f64) {
+        match self {
+            TpClass::UpUp => (1.0, 1.0),
+            TpClass::UpDown => (1.0, -1.0),
+            TpClass::DownUp => (-1.0, 1.0),
+            TpClass::DownDown => (-1.0, -1.0),
+        }
+    }
+}
+
+/// Writes a step event (sharp transition holding for `width` steps) of the
+/// given sign starting at `pos`.
+fn place_step(series: &mut [f64], pos: usize, width: usize, sign: f64) {
+    let n = series.len();
+    for v in series[pos..(pos + width).min(n)].iter_mut() {
+        *v += 5.0 * sign;
+    }
+}
+
+/// Generates one Two-Patterns series of length `n`.
+pub fn two_patterns_series(class: TpClass, n: usize, rng: &mut StdRng) -> Vec<f64> {
+    let mut s: Vec<f64> = (0..n).map(|_| randn(rng) * 0.5).collect();
+    let (s1, s2) = class.signs();
+    let width = (n / 8).max(2);
+    // Two non-overlapping windows for the events, first strictly before
+    // the second.
+    let first_max = n / 2 - width;
+    let p1 = rng.gen_range(0..first_max.max(1));
+    let p2 = rng.gen_range(n / 2..(n - width).max(n / 2 + 1));
+    place_step(&mut s, p1, width, s1);
+    place_step(&mut s, p2, width, s2);
+    s
+}
+
+/// Generates a balanced Two-Patterns dataset (`per_class` × 4 series).
+pub fn two_patterns(per_class: usize, n: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let classes = [TpClass::UpUp, TpClass::UpDown, TpClass::DownUp, TpClass::DownDown];
+    let mut series = Vec::with_capacity(per_class * 4);
+    let mut labels = Vec::with_capacity(per_class * 4);
+    for rep in 0..per_class {
+        for (label, class) in classes.into_iter().enumerate() {
+            let mut ts = TimeSeries::new(two_patterns_series(class, n, &mut rng));
+            ts.set_name(format!("tp-{label}-{rep}"));
+            series.push(ts);
+            labels.push(label);
+        }
+    }
+    Dataset::with_labels("TwoPatterns", DatasetKind::Simulated, series, labels)
+        .expect("labels match by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tscore::stats;
+
+    #[test]
+    fn dataset_shape() {
+        let d = two_patterns(8, 128, 0);
+        assert_eq!(d.len(), 32);
+        assert_eq!(d.n_classes(), 4);
+        assert_eq!(d.class_counts(), vec![8, 8, 8, 8]);
+    }
+
+    #[test]
+    fn event_signs_visible() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = two_patterns_series(TpClass::UpDown, 128, &mut rng);
+        // First half max should be positive-dominated, second half min
+        // negative-dominated.
+        assert!(stats::max(&s[..64]) > 3.0);
+        assert!(stats::min(&s[64..]) < -3.0);
+        let s2 = two_patterns_series(TpClass::DownUp, 128, &mut rng);
+        assert!(stats::min(&s2[..64]) < -3.0);
+        assert!(stats::max(&s2[64..]) > 3.0);
+    }
+
+    #[test]
+    fn up_up_has_no_negative_event() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..10 {
+            let s = two_patterns_series(TpClass::UpUp, 128, &mut rng);
+            assert!(stats::min(&s) > -4.0, "no down event expected");
+            assert!(stats::max(&s) > 3.0);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = two_patterns(4, 64, 9);
+        let b = two_patterns(4, 64, 9);
+        assert_eq!(a.series()[3].values(), b.series()[3].values());
+    }
+
+    #[test]
+    fn short_series_do_not_panic() {
+        let d = two_patterns(2, 24, 0);
+        assert_eq!(d.min_len(), 24);
+    }
+}

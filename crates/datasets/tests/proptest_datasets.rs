@@ -1,0 +1,105 @@
+//! Property-based tests for the dataset generators: every generator must
+//! produce well-formed, finite, balanced, deterministic data for any
+//! (reasonable) parameters.
+
+use proptest::prelude::*;
+use tscore::Dataset;
+
+fn check_dataset(d: &Dataset, per_class: usize, classes: usize, n: usize) {
+    assert_eq!(d.len(), per_class * classes);
+    assert_eq!(d.n_classes(), classes);
+    assert!(d.is_equal_length());
+    assert_eq!(d.min_len(), n);
+    assert!(d.class_counts().iter().all(|&c| c == per_class));
+    for s in d.series() {
+        assert!(s.values().iter().all(|v| v.is_finite()));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn cbf_well_formed(per_class in 1usize..6, n in 32usize..200, seed in 0u64..1000) {
+        let d = datasets::cbf::cbf(per_class, n, seed);
+        check_dataset(&d, per_class, 3, n);
+        let d2 = datasets::cbf::cbf(per_class, n, seed);
+        prop_assert_eq!(d.series()[0].values(), d2.series()[0].values());
+    }
+
+    #[test]
+    fn two_patterns_well_formed(per_class in 1usize..6, n in 24usize..200, seed in 0u64..1000) {
+        let d = datasets::two_patterns::two_patterns(per_class, n, seed);
+        check_dataset(&d, per_class, 4, n);
+    }
+
+    #[test]
+    fn synthetic_control_well_formed(per_class in 1usize..5, n in 30usize..120, seed in 0u64..1000) {
+        let d = datasets::control::synthetic_control(per_class, n, seed);
+        check_dataset(&d, per_class, 6, n);
+    }
+
+    #[test]
+    fn shape_families_well_formed(per_class in 1usize..5, seed in 0u64..500) {
+        let n = 96;
+        check_dataset(&datasets::shapes::trace_like(per_class, n, seed), per_class, 4, n);
+        check_dataset(&datasets::shapes::gunpoint_like(per_class, n, seed), per_class, 2, n);
+        check_dataset(&datasets::shapes::device_like(per_class, n, seed), per_class, 3, n);
+        check_dataset(&datasets::shapes::chirp_like(per_class, n, seed), per_class, 3, n);
+        check_dataset(&datasets::shapes::seismic_like(per_class, n, seed), per_class, 2, n);
+        check_dataset(&datasets::shapes::spectro_like(per_class, n, seed), per_class, 4, n);
+    }
+
+    #[test]
+    fn ecg_like_well_formed(per_class in 1usize..5, n in 96usize..256, seed in 0u64..500) {
+        let d = datasets::shapes::ecg_like(per_class, n, seed);
+        check_dataset(&d, per_class, 3, n);
+    }
+
+    #[test]
+    fn ucr_parser_roundtrips_generated_data(
+        rows in proptest::collection::vec(
+            (0i64..5, proptest::collection::vec(-100.0..100.0f64, 3..10)),
+            1..12,
+        ),
+    ) {
+        // Serialise as UCR TSV, re-parse, compare.
+        let mut tsv = String::new();
+        for (label, values) in &rows {
+            tsv.push_str(&label.to_string());
+            for v in values {
+                tsv.push('\t');
+                tsv.push_str(&format!("{v:.6}"));
+            }
+            tsv.push('\n');
+        }
+        let d = datasets::ucr::parse_ucr_tsv(&tsv, "prop", tscore::DatasetKind::Other).unwrap();
+        prop_assert_eq!(d.len(), rows.len());
+        for (series, (_, values)) in d.series().iter().zip(&rows) {
+            prop_assert_eq!(series.len(), values.len());
+            for (a, b) in series.values().iter().zip(values) {
+                prop_assert!((a - b).abs() < 1e-5);
+            }
+        }
+        // Label compaction preserves co-membership.
+        let orig: Vec<usize> = rows.iter().map(|(l, _)| *l as usize).collect();
+        let parsed = d.labels().unwrap();
+        let ari = equivalence(&orig, parsed);
+        prop_assert!(ari, "label structure not preserved");
+    }
+}
+
+/// True iff two labelings induce the same partition.
+fn equivalence(a: &[usize], b: &[usize]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    for i in 0..a.len() {
+        for j in (i + 1)..a.len() {
+            if (a[i] == a[j]) != (b[i] == b[j]) {
+                return false;
+            }
+        }
+    }
+    true
+}

@@ -1,0 +1,155 @@
+//! Terminal rendering: tables, sparklines and horizontal bar charts.
+//!
+//! The experiment binaries print these alongside writing SVG, so results
+//! are inspectable without opening the HTML report.
+
+/// Renders an aligned text table. `headers.len()` must match every row.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    assert!(rows.iter().all(|r| r.len() == cols), "ragged table rows");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.chars().count()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    let sep = |out: &mut String| {
+        for w in &widths {
+            out.push('+');
+            out.push_str(&"-".repeat(w + 2));
+        }
+        out.push_str("+\n");
+    };
+    sep(&mut out);
+    for (i, h) in headers.iter().enumerate() {
+        out.push_str("| ");
+        out.push_str(h);
+        out.push_str(&" ".repeat(widths[i] - h.chars().count() + 1));
+    }
+    out.push_str("|\n");
+    sep(&mut out);
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            out.push_str("| ");
+            out.push_str(cell);
+            out.push_str(&" ".repeat(widths[i] - cell.chars().count() + 1));
+        }
+        out.push_str("|\n");
+    }
+    sep(&mut out);
+    out
+}
+
+/// Unicode sparkline of a value series (8 block levels).
+pub fn sparkline(values: &[f64]) -> String {
+    const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return String::new();
+    }
+    let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(1e-12);
+    values
+        .iter()
+        .map(|v| {
+            let t = ((v - lo) / span * 7.0).round() as usize;
+            BLOCKS[t.min(7)]
+        })
+        .collect()
+}
+
+/// Horizontal bar chart: one labelled bar per entry, scaled to `width`
+/// characters at the maximum value.
+pub fn bar_chart(entries: &[(String, f64)], width: usize) -> String {
+    if entries.is_empty() {
+        return String::new();
+    }
+    let label_w = entries.iter().map(|(l, _)| l.chars().count()).max().unwrap_or(0);
+    let max = entries.iter().map(|(_, v)| *v).fold(f64::NEG_INFINITY, f64::max);
+    let max = if max <= 0.0 { 1.0 } else { max };
+    let mut out = String::new();
+    for (label, value) in entries {
+        let bar_len = ((value / max).max(0.0) * width as f64).round() as usize;
+        out.push_str(&format!(
+            "{label:label_w$} | {} {value:.3}\n",
+            "█".repeat(bar_len)
+        ));
+    }
+    out
+}
+
+/// Compact rendering of a partition: `cluster -> count` pairs.
+pub fn partition_summary(labels: &[usize]) -> String {
+    let k = labels.iter().copied().max().map_or(0, |m| m + 1);
+    let mut counts = vec![0usize; k];
+    for &l in labels {
+        counts[l] += 1;
+    }
+    counts
+        .iter()
+        .enumerate()
+        .map(|(c, n)| format!("C{c}:{n}"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = render_table(
+            &["method", "ARI"],
+            &[
+                vec!["k-Graph".into(), "0.91".into()],
+                vec!["k-Means".into(), "0.5".into()],
+            ],
+        );
+        assert!(t.contains("| method  | ARI  |"));
+        assert!(t.contains("| k-Graph | 0.91 |"));
+        // All lines same width.
+        let widths: std::collections::HashSet<usize> =
+            t.lines().map(|l| l.chars().count()).collect();
+        assert_eq!(widths.len(), 1, "{t}");
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        render_table(&["a"], &[vec!["x".into(), "y".into()]]);
+    }
+
+    #[test]
+    fn sparkline_levels() {
+        let s = sparkline(&[0.0, 1.0]);
+        assert_eq!(s, "▁█");
+        let flat = sparkline(&[5.0, 5.0, 5.0]);
+        assert_eq!(flat.chars().count(), 3);
+        assert!(sparkline(&[]).is_empty());
+    }
+
+    #[test]
+    fn bar_chart_scaling() {
+        let c = bar_chart(&[("a".into(), 1.0), ("bb".into(), 2.0)], 10);
+        let lines: Vec<&str> = c.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[1].matches('█').count() == 10);
+        assert!(lines[0].matches('█').count() == 5);
+        assert!(bar_chart(&[], 10).is_empty());
+    }
+
+    #[test]
+    fn bar_chart_non_positive_values() {
+        let c = bar_chart(&[("a".into(), 0.0), ("b".into(), -1.0)], 10);
+        assert!(c.contains("a"));
+        assert!(!c.contains('█'));
+    }
+
+    #[test]
+    fn partition_summary_counts() {
+        assert_eq!(partition_summary(&[0, 0, 1, 2, 2, 2]), "C0:2 C1:1 C2:3");
+        assert_eq!(partition_summary(&[]), "");
+    }
+}

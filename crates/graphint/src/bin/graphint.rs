@@ -1,0 +1,145 @@
+//! `graphint` — the command-line face of the tool.
+//!
+//! Mirrors the demo's sidebar: choose a dataset, then open one of the
+//! frames. Output is printed to the terminal (tables, sparklines) and full
+//! visual artefacts are written as a self-contained HTML report.
+//!
+//! ```text
+//! graphint list                          # available datasets
+//! graphint compare <dataset>             # frame 1.1
+//! graphint graph   <dataset>             # frame 2
+//! graphint quiz    <dataset> [trials]    # frame 3 (simulated users)
+//! graphint hood    <dataset>             # frame 4
+//! graphint report  <dataset> [out.html]  # all frames into one HTML page
+//! ```
+
+use clustering::method::{ClusteringMethod, MethodKind};
+use graphint::frames::comparison::{ComparisonFrame, MethodPartition};
+use graphint::frames::graph::GraphFrame;
+use graphint::frames::quiz_frame::{QuizConfig, QuizFrame};
+use graphint::frames::under_the_hood::UnderTheHoodFrame;
+use graphint::Report;
+use kgraph::{KGraph, KGraphConfig, KGraphModel};
+use tscore::Dataset;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = run(&args);
+    std::process::exit(code);
+}
+
+/// Dispatches a parsed command line; returns the process exit code.
+/// Split from `main` so tests can drive it.
+pub fn run(args: &[String]) -> i32 {
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            println!("available datasets:");
+            for spec in datasets::default_collection() {
+                let d = (spec.build)();
+                println!(
+                    "  {:<18} {:<10} {:>4} series x {:>4} points, {} classes",
+                    spec.name,
+                    d.kind().as_str(),
+                    d.len(),
+                    d.min_len(),
+                    d.n_classes()
+                );
+            }
+            0
+        }
+        Some("compare") => with_dataset(args.get(1), |ds, model| {
+            let k = ds.n_classes().max(2);
+            let kmeans = ClusteringMethod::new(MethodKind::KMeansZnorm, k, 3).run(ds);
+            let kshape = ClusteringMethod::new(MethodKind::KShape, k, 3).run(ds);
+            let frame = ComparisonFrame::build(
+                ds,
+                &[
+                    MethodPartition { name: "k-Graph".into(), labels: model.labels.clone() },
+                    MethodPartition { name: "k-Means".into(), labels: kmeans },
+                    MethodPartition { name: "k-Shape".into(), labels: kshape },
+                ],
+            );
+            println!("{}", frame.summary());
+        }),
+        Some("graph") => with_dataset(args.get(1), |_, model| {
+            let frame = GraphFrame::with_auto_thresholds(model);
+            println!(
+                "selected length ℓ̄ = {}; auto thresholds λ = {:.2}, γ = {:.2}",
+                model.best_length(),
+                frame.lambda,
+                frame.gamma
+            );
+            println!("coloured nodes per cluster: {:?}", frame.colored_nodes_per_cluster());
+        }),
+        Some("quiz") => {
+            let trials: usize = args.get(2).and_then(|t| t.parse().ok()).unwrap_or(10);
+            with_dataset(args.get(1), move |ds, _| {
+                let k = ds.n_classes().max(2);
+                let frame = QuizFrame::run(ds, QuizConfig { trials, ..QuizConfig::new(k, 3) }, None);
+                println!("{}", frame.summary());
+            })
+        }
+        Some("hood") => with_dataset(args.get(1), |_, model| {
+            println!("{}", UnderTheHoodFrame::new(model).summary());
+        }),
+        Some("report") => {
+            let default_out = args
+                .get(1)
+                .map(|d| format!("out/graphint_{d}.html"))
+                .unwrap_or_else(|| "out/graphint.html".into());
+            let out = args.get(2).cloned().unwrap_or(default_out);
+            with_dataset(args.get(1), move |ds, model| {
+                let k = ds.n_classes().max(2);
+                let kmeans = ClusteringMethod::new(MethodKind::KMeansZnorm, k, 3).run(ds);
+                let comparison = ComparisonFrame::build(
+                    ds,
+                    &[
+                        MethodPartition { name: "k-Graph".into(), labels: model.labels.clone() },
+                        MethodPartition { name: "k-Means".into(), labels: kmeans },
+                    ],
+                );
+                let graph_frame = GraphFrame::with_auto_thresholds(model);
+                let hood = UnderTheHoodFrame::new(model);
+                let mut report = Report::new(format!("Graphint — {}", ds.name()));
+                report.section("Clustering comparison");
+                report.add_pre(&comparison.summary());
+                for (_, svg) in &comparison.panels {
+                    report.add_svg(svg);
+                }
+                report.section("k-Graph in action");
+                report.add_svg(&graph_frame.render_graph());
+                report.section("Under the hood");
+                report.add_pre(&hood.summary());
+                report.add_svg(&hood.render_length_selection());
+                report.add_svg(&hood.render_consensus_matrix());
+                let path = std::path::PathBuf::from(&out);
+                report.write(&path).expect("write report");
+                println!("wrote {}", path.display());
+            })
+        }
+        _ => {
+            eprintln!(
+                "usage: graphint <list|compare|graph|quiz|hood|report> [dataset] [extra]\n\
+                 datasets: `graphint list`"
+            );
+            2
+        }
+    }
+}
+
+/// Builds the named dataset, fits k-Graph once and hands both to `f`.
+fn with_dataset(name: Option<&String>, f: impl FnOnce(&Dataset, &KGraphModel)) -> i32 {
+    let Some(name) = name else {
+        eprintln!("missing dataset name; try `graphint list`");
+        return 2;
+    };
+    let Some(dataset) = datasets::registry::by_name(name) else {
+        eprintln!("unknown dataset {name}; try `graphint list`");
+        return 2;
+    };
+    let k = dataset.n_classes().max(2);
+    let cfg = KGraphConfig { n_lengths: 4, psi: 20, ..KGraphConfig::new(k).with_seed(3) };
+    let model = KGraph::new(cfg).fit(&dataset);
+    f(&dataset, &model);
+    0
+}

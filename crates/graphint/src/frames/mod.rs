@@ -1,0 +1,7 @@
+//! The five Graphint frames (paper Figures 2 and 3).
+
+pub mod benchmark;
+pub mod comparison;
+pub mod graph;
+pub mod quiz_frame;
+pub mod under_the_hood;

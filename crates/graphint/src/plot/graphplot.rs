@@ -1,0 +1,220 @@
+//! Node-link rendering of k-Graph graphs — the heart of the Graph frame.
+//!
+//! Nodes are sized by crossing count and coloured by the cluster whose
+//! γ-graphoid (and λ-graphoid) they belong to; unselected elements are
+//! muted grey, exactly like the demo's "nodes and edges are colored if
+//! their representativity and exclusivity exceed the values the user
+//! selects".
+
+use crate::color::{category_color, MUTED};
+use crate::svg::SvgDoc;
+use kgraph::graphoid::ClusterStats;
+use kgraph::GraphLayer;
+use tsgraph::layout::{fit_to_viewport, force_directed, ForceOptions};
+
+/// Renderer for one graph layer.
+#[derive(Debug)]
+pub struct GraphPlot<'a> {
+    /// Chart title.
+    pub title: String,
+    /// The layer to draw.
+    pub layer: &'a GraphLayer,
+    /// Crossing statistics under the final labels.
+    pub stats: &'a ClusterStats,
+    /// Representativity threshold λ for colouring.
+    pub lambda: f64,
+    /// Exclusivity threshold γ for colouring.
+    pub gamma: f64,
+    /// Pixel size.
+    pub size: (f64, f64),
+    /// Layout seed.
+    pub seed: u64,
+}
+
+impl<'a> GraphPlot<'a> {
+    /// Creates a renderer with the thresholds of the advanced-settings
+    /// window (size 640 × 520).
+    pub fn new(layer: &'a GraphLayer, stats: &'a ClusterStats, lambda: f64, gamma: f64) -> Self {
+        GraphPlot {
+            title: format!("k-Graph graph (ℓ = {})", layer.length),
+            layer,
+            stats,
+            lambda,
+            gamma,
+            size: (640.0, 520.0),
+            seed: 42,
+        }
+    }
+
+    /// The cluster that "owns" node `n` under (λ, γ), if any: the cluster
+    /// with maximal exclusivity among those where both thresholds hold.
+    pub fn node_owner(&self, n: usize) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for c in 0..self.stats.k {
+            let repr = self.stats.node_representativity(c, n);
+            let excl = self.stats.node_exclusivity(c, n);
+            if repr >= self.lambda && excl >= self.gamma
+                && best.is_none_or(|(_, e)| excl > e) {
+                    best = Some((c, excl));
+                }
+        }
+        best.map(|(c, _)| c)
+    }
+
+    /// Same ownership rule for edge `e`.
+    pub fn edge_owner(&self, e: usize) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for c in 0..self.stats.k {
+            let repr = self.stats.edge_representativity(c, e);
+            let excl = self.stats.edge_exclusivity(c, e);
+            if repr >= self.lambda && excl >= self.gamma
+                && best.is_none_or(|(_, x)| excl > x) {
+                    best = Some((c, excl));
+                }
+        }
+        best.map(|(c, _)| c)
+    }
+
+    /// Renders to SVG.
+    pub fn render(&self) -> String {
+        let (w, h) = self.size;
+        let mut doc = SvgDoc::new(w, h);
+        doc.rect(0.0, 0.0, w, h, "#ffffff", "none");
+        doc.text(w / 2.0, 18.0, &self.title, 12.0, "middle", "#111111");
+        let g = &self.layer.graph;
+        if g.node_count() == 0 {
+            doc.text(w / 2.0, h / 2.0, "(empty graph)", 11.0, "middle", "#777777");
+            return doc.finish();
+        }
+        let layout = force_directed(g, ForceOptions { seed: self.seed, ..Default::default() });
+        let pos = fit_to_viewport(&layout, w, h - 40.0, 30.0);
+        let pos: Vec<(f64, f64)> = pos.into_iter().map(|(x, y)| (x, y + 30.0)).collect();
+
+        // Node radii by sqrt(count).
+        let max_count = g
+            .nodes_iter()
+            .map(|(_, n)| n.count)
+            .max()
+            .unwrap_or(1)
+            .max(1) as f64;
+        let radius = |count: usize| 3.0 + 9.0 * (count as f64 / max_count).sqrt();
+
+        // Edges first (under nodes).
+        let max_weight = g
+            .edges_iter()
+            .map(|(_, _, _, &w)| w)
+            .fold(1.0f64, f64::max);
+        for (e, s, t, &weight) in g.edges_iter() {
+            let color = match self.edge_owner(e.index()) {
+                Some(c) => category_color(c).to_string(),
+                None => MUTED.to_string(),
+            };
+            let (x1, y1) = pos[s.index()];
+            let (x2, y2) = pos[t.index()];
+            // Shorten toward the target so the arrow tip meets the circle.
+            let rt = radius(g.node(t).count);
+            let dx = x2 - x1;
+            let dy = y2 - y1;
+            let len = (dx * dx + dy * dy).sqrt().max(1e-9);
+            let (ex, ey) = (x2 - dx / len * rt, y2 - dy / len * rt);
+            let width = 0.5 + 2.0 * (weight / max_weight);
+            doc.arrow(x1, y1, ex, ey, &color, width);
+        }
+        // Nodes.
+        for (id, node) in g.nodes_iter() {
+            let color = match self.node_owner(id.index()) {
+                Some(c) => category_color(c).to_string(),
+                None => MUTED.to_string(),
+            };
+            let (x, y) = pos[id.index()];
+            doc.circle(x, y, radius(node.count), &color, "#555555");
+        }
+        // Legend: one swatch per cluster.
+        let mut lx = 30.0;
+        for c in 0..self.stats.k {
+            doc.circle(lx, h - 14.0, 5.0, category_color(c), "#555555");
+            doc.text(lx + 9.0, h - 10.0, &format!("cluster {c}"), 9.0, "start", "#333333");
+            lx += 80.0;
+        }
+        doc.text(lx + 10.0, h - 10.0, &format!("λ={:.2} γ={:.2}", self.lambda, self.gamma), 9.0, "start", "#333333");
+        doc.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgraph::{KGraph, KGraphConfig};
+    use tscore::{Dataset, DatasetKind, TimeSeries};
+
+    fn model() -> kgraph::KGraphModel {
+        let mut series = Vec::new();
+        for f in [0.2f64, 0.9] {
+            for p in 0..5 {
+                series.push(TimeSeries::new(
+                    (0..80).map(|i| ((i + p) as f64 * f).sin()).collect(),
+                ));
+            }
+        }
+        let ds = Dataset::new("toy", DatasetKind::Simulated, series);
+        let cfg = KGraphConfig {
+            n_lengths: 2,
+            psi: 10,
+            pca_sample: 400,
+            n_init: 2,
+            ..KGraphConfig::new(2)
+        };
+        KGraph::new(cfg).fit(&ds)
+    }
+
+    #[test]
+    fn renders_nodes_and_edges() {
+        let m = model();
+        let stats = m.best_stats();
+        let plot = GraphPlot::new(m.best(), &stats, 0.5, 0.7);
+        let svg = plot.render();
+        assert!(svg.contains("k-Graph graph"));
+        assert!(svg.matches("<circle").count() >= m.best().graph.node_count());
+        assert!(svg.contains("cluster 0"));
+        assert!(svg.contains("cluster 1"));
+    }
+
+    #[test]
+    fn muted_color_for_thresholds_of_one() {
+        let m = model();
+        let stats = m.best_stats();
+        // λ = γ = 1.01 cannot be satisfied → everything muted.
+        let plot = GraphPlot::new(m.best(), &stats, 1.01, 1.01);
+        for n in 0..m.best().graph.node_count() {
+            assert!(plot.node_owner(n).is_none());
+        }
+        let svg = plot.render();
+        assert!(svg.contains(MUTED));
+    }
+
+    #[test]
+    fn zero_thresholds_color_everything_crossed() {
+        let m = model();
+        let stats = m.best_stats();
+        let plot = GraphPlot::new(m.best(), &stats, 0.0, 0.0);
+        let owned = (0..m.best().graph.node_count())
+            .filter(|&n| plot.node_owner(n).is_some())
+            .count();
+        assert_eq!(owned, m.best().graph.node_count());
+    }
+
+    #[test]
+    fn owner_picks_max_exclusivity() {
+        let m = model();
+        let stats = m.best_stats();
+        let plot = GraphPlot::new(m.best(), &stats, 0.0, 0.0);
+        for n in 0..m.best().graph.node_count() {
+            if let Some(c) = plot.node_owner(n) {
+                let e_owner = stats.node_exclusivity(c, n);
+                for other in 0..stats.k {
+                    assert!(e_owner >= stats.node_exclusivity(other, n) - 1e-12);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Matrix heatmaps — feature matrix (frame 4.2) and consensus matrix
+//! (frame 4.3).
+
+use crate::color::{viridis, Rgb};
+use crate::svg::SvgDoc;
+use linalg::matrix::Matrix;
+
+/// A heatmap of a dense matrix.
+#[derive(Debug, Clone)]
+pub struct Heatmap {
+    /// Chart title.
+    pub title: String,
+    /// The matrix to draw (row 0 at the top).
+    pub matrix: Matrix,
+    /// Pixel size.
+    pub size: (f64, f64),
+    /// Explicit value domain; `None` = data min/max.
+    pub domain: Option<(f64, f64)>,
+    /// Colormap (defaults to viridis).
+    pub colormap: fn(f64) -> Rgb,
+    /// Optional row-group boundaries (cluster separators), row indices.
+    pub row_groups: Vec<usize>,
+}
+
+impl Heatmap {
+    /// Creates a heatmap (size 420 × 380).
+    pub fn new(title: impl Into<String>, matrix: Matrix) -> Self {
+        Heatmap {
+            title: title.into(),
+            matrix,
+            size: (420.0, 380.0),
+            domain: None,
+            colormap: viridis,
+            row_groups: Vec::new(),
+        }
+    }
+
+    /// Renders to SVG.
+    pub fn render(&self) -> String {
+        let (w, h) = self.size;
+        let (left, right, top, bottom) = (20.0, w - 50.0, 30.0, h - 20.0);
+        let mut doc = SvgDoc::new(w, h);
+        doc.rect(0.0, 0.0, w, h, "#ffffff", "none");
+        doc.text(w / 2.0, 18.0, &self.title, 12.0, "middle", "#111111");
+        let (rows, cols) = self.matrix.shape();
+        if rows == 0 || cols == 0 {
+            doc.text(w / 2.0, h / 2.0, "(empty matrix)", 11.0, "middle", "#777777");
+            return doc.finish();
+        }
+        let (lo, hi) = self.domain.unwrap_or_else(|| {
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for &v in self.matrix.as_slice() {
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            if (hi - lo).abs() < 1e-12 {
+                (lo - 0.5, hi + 0.5)
+            } else {
+                (lo, hi)
+            }
+        });
+        let cell_w = (right - left) / cols as f64;
+        let cell_h = (bottom - top) / rows as f64;
+        for r in 0..rows {
+            for c in 0..cols {
+                let t = (self.matrix[(r, c)] - lo) / (hi - lo);
+                let color = (self.colormap)(t).to_hex();
+                doc.rect(
+                    left + c as f64 * cell_w,
+                    top + r as f64 * cell_h,
+                    cell_w + 0.3,
+                    cell_h + 0.3,
+                    &color,
+                    "none",
+                );
+            }
+        }
+        // Cluster separators.
+        for &g in &self.row_groups {
+            let y = top + g as f64 * cell_h;
+            doc.line(left, y, right, y, "#ffffff", 1.5);
+        }
+        // Colorbar.
+        let bar_x = right + 10.0;
+        let bar_h = bottom - top;
+        let steps = 40;
+        for s in 0..steps {
+            let t = 1.0 - s as f64 / (steps - 1) as f64;
+            doc.rect(
+                bar_x,
+                top + s as f64 * bar_h / steps as f64,
+                12.0,
+                bar_h / steps as f64 + 0.4,
+                &(self.colormap)(t).to_hex(),
+                "none",
+            );
+        }
+        doc.text(bar_x + 14.0, top + 8.0, &format!("{hi:.2}"), 8.0, "start", "#333333");
+        doc.text(bar_x + 14.0, bottom, &format!("{lo:.2}"), 8.0, "start", "#333333");
+        doc.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_cells_and_colorbar() {
+        let m = Matrix::from_rows(&[vec![0.0, 0.5], vec![0.5, 1.0]]);
+        let hm = Heatmap::new("consensus", m);
+        let svg = hm.render();
+        assert!(svg.contains("consensus"));
+        // 4 cells + background + 40 colorbar steps.
+        assert!(svg.matches("<rect").count() >= 45);
+        assert!(svg.contains("1.00"));
+        assert!(svg.contains("0.00"));
+    }
+
+    #[test]
+    fn empty_matrix_graceful() {
+        let hm = Heatmap::new("e", Matrix::zeros(0, 0));
+        assert!(hm.render().contains("(empty matrix)"));
+    }
+
+    #[test]
+    fn constant_matrix_does_not_break() {
+        let hm = Heatmap::new("c", Matrix::from_rows(&[vec![3.0, 3.0]]));
+        let svg = hm.render();
+        assert!(!svg.contains("NaN"));
+    }
+
+    #[test]
+    fn explicit_domain_used() {
+        let m = Matrix::from_rows(&[vec![0.2]]);
+        let mut hm = Heatmap::new("d", m);
+        hm.domain = Some((0.0, 1.0));
+        let svg = hm.render();
+        assert!(svg.contains("1.00"));
+        assert!(svg.contains("0.00"));
+    }
+
+    #[test]
+    fn row_group_separators() {
+        let m = Matrix::zeros(4, 4);
+        let mut hm = Heatmap::new("g", m);
+        hm.row_groups = vec![2];
+        let svg = hm.render();
+        assert!(svg.contains("stroke=\"#ffffff\""));
+    }
+}

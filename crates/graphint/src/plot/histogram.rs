@@ -1,0 +1,141 @@
+//! Histograms — score distributions in the Benchmark frame and node-count
+//! distributions in the Graph frame.
+
+use crate::svg::{draw_axes, LinearScale, SvgDoc};
+
+/// A single-series histogram with automatic binning.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    /// Chart title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Raw samples.
+    pub samples: Vec<f64>,
+    /// Number of bins (0 = Sturges' rule).
+    pub bins: usize,
+    /// Bar fill colour.
+    pub color: String,
+    /// Pixel size.
+    pub size: (f64, f64),
+}
+
+impl Histogram {
+    /// Creates a histogram with automatic binning (size 420 × 260).
+    pub fn new(title: impl Into<String>, samples: Vec<f64>) -> Self {
+        Histogram {
+            title: title.into(),
+            x_label: String::new(),
+            samples,
+            bins: 0,
+            color: "#1f77b4".into(),
+            size: (420.0, 260.0),
+        }
+    }
+
+    /// Bin counts and edges: `(edges, counts)` with
+    /// `edges.len() == counts.len() + 1`.
+    pub fn bin_counts(&self) -> (Vec<f64>, Vec<usize>) {
+        if self.samples.is_empty() {
+            return (Vec::new(), Vec::new());
+        }
+        let bins = if self.bins > 0 {
+            self.bins
+        } else {
+            // Sturges' rule.
+            ((self.samples.len() as f64).log2().ceil() as usize + 1).max(1)
+        };
+        let lo = self.samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = self.samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let (lo, hi) = if (hi - lo).abs() < 1e-12 {
+            (lo - 0.5, hi + 0.5)
+        } else {
+            (lo, hi)
+        };
+        let width = (hi - lo) / bins as f64;
+        let edges: Vec<f64> = (0..=bins).map(|i| lo + width * i as f64).collect();
+        let mut counts = vec![0usize; bins];
+        for &x in &self.samples {
+            let mut b = ((x - lo) / width) as usize;
+            if b >= bins {
+                b = bins - 1;
+            }
+            counts[b] += 1;
+        }
+        (edges, counts)
+    }
+
+    /// Renders to SVG.
+    pub fn render(&self) -> String {
+        let (w, h) = self.size;
+        let (left, right, top, bottom) = (48.0, w - 14.0, 30.0, h - 40.0);
+        let mut doc = SvgDoc::new(w, h);
+        doc.rect(0.0, 0.0, w, h, "#ffffff", "none");
+        doc.text(w / 2.0, 18.0, &self.title, 12.0, "middle", "#111111");
+        let (edges, counts) = self.bin_counts();
+        if counts.is_empty() {
+            doc.text(w / 2.0, h / 2.0, "(no data)", 11.0, "middle", "#777777");
+            return doc.finish();
+        }
+        let max_count = *counts.iter().max().expect("non-empty") as f64;
+        let xs = LinearScale::new((edges[0], *edges.last().expect("non-empty")), (left, right));
+        let ys = LinearScale::new((0.0, max_count), (bottom, top));
+        draw_axes(&mut doc, &xs, &ys, &self.x_label, "count", left, bottom, right, top);
+        for (i, &c) in counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let x0 = xs.apply(edges[i]);
+            let x1 = xs.apply(edges[i + 1]);
+            let y = ys.apply(c as f64);
+            doc.rect(x0 + 0.5, y, (x1 - x0 - 1.0).max(0.5), bottom - y, &self.color, "none");
+        }
+        doc.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_partition_the_samples() {
+        let samples: Vec<f64> = (0..100).map(|i| i as f64 / 10.0).collect();
+        let h = Histogram { bins: 10, ..Histogram::new("t", samples.clone()) };
+        let (edges, counts) = h.bin_counts();
+        assert_eq!(edges.len(), 11);
+        assert_eq!(counts.iter().sum::<usize>(), samples.len());
+        // Roughly uniform.
+        assert!(counts.iter().all(|&c| c >= 9 && c <= 11), "{counts:?}");
+    }
+
+    #[test]
+    fn sturges_default() {
+        let h = Histogram::new("t", (0..64).map(|i| i as f64).collect());
+        let (_, counts) = h.bin_counts();
+        assert_eq!(counts.len(), 7); // log2(64) + 1
+    }
+
+    #[test]
+    fn constant_samples_do_not_break() {
+        let h = Histogram::new("t", vec![3.0; 10]);
+        let (edges, counts) = h.bin_counts();
+        assert!(!edges.is_empty());
+        assert_eq!(counts.iter().sum::<usize>(), 10);
+        assert!(!h.render().contains("NaN"));
+    }
+
+    #[test]
+    fn renders_bars_and_title() {
+        let h = Histogram::new("ARI distribution", vec![0.1, 0.2, 0.2, 0.9]);
+        let svg = h.render();
+        assert!(svg.contains("ARI distribution"));
+        assert!(svg.contains("count"));
+        assert!(svg.matches("<rect").count() >= 2);
+    }
+
+    #[test]
+    fn empty_graceful() {
+        assert!(Histogram::new("t", vec![]).render().contains("(no data)"));
+    }
+}

@@ -1,0 +1,189 @@
+//! Multi-series line chart (time series panels, Wc/We curves).
+
+use crate::color::category_color;
+use crate::svg::{draw_axes, LinearScale, SvgDoc};
+
+/// One line in a [`LineChart`].
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` points.
+    pub points: Vec<(f64, f64)>,
+    /// Stroke colour (empty = palette colour by index).
+    pub color: String,
+    /// Stroke width.
+    pub width: f64,
+}
+
+impl Series {
+    /// Builds a series from y-values against their indices.
+    pub fn from_values(label: impl Into<String>, values: &[f64]) -> Self {
+        Series {
+            label: label.into(),
+            points: values.iter().enumerate().map(|(i, &v)| (i as f64, v)).collect(),
+            color: String::new(),
+            width: 1.2,
+        }
+    }
+
+    /// Sets an explicit colour (builder style).
+    pub fn with_color(mut self, color: impl Into<String>) -> Self {
+        self.color = color.into();
+        self
+    }
+}
+
+/// A line chart with axes, title and legend.
+#[derive(Debug, Clone)]
+pub struct LineChart {
+    /// Chart title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// The lines.
+    pub series: Vec<Series>,
+    /// Pixel size.
+    pub size: (f64, f64),
+    /// Optional vertical marker lines (e.g. the selected length ℓ̄).
+    pub vlines: Vec<(f64, String)>,
+    /// Draw the legend.
+    pub legend: bool,
+}
+
+impl LineChart {
+    /// Creates an empty chart of default size 560 × 280.
+    pub fn new(title: impl Into<String>) -> Self {
+        LineChart {
+            title: title.into(),
+            x_label: String::new(),
+            y_label: String::new(),
+            series: Vec::new(),
+            size: (560.0, 280.0),
+            vlines: Vec::new(),
+            legend: true,
+        }
+    }
+
+    /// Adds a series (builder style).
+    #[allow(clippy::should_implement_trait)] // builder verb, not arithmetic
+    pub fn add(mut self, series: Series) -> Self {
+        self.series.push(series);
+        self
+    }
+
+    /// Renders to SVG.
+    pub fn render(&self) -> String {
+        let (w, h) = self.size;
+        let (left, right, top, bottom) = (52.0, w - 14.0, 30.0, h - 40.0);
+        let mut doc = SvgDoc::new(w, h);
+        doc.rect(0.0, 0.0, w, h, "#ffffff", "none");
+        doc.text(w / 2.0, 18.0, &self.title, 12.0, "middle", "#111111");
+
+        let all: Vec<(f64, f64)> = self.series.iter().flat_map(|s| s.points.clone()).collect();
+        if all.is_empty() {
+            doc.text(w / 2.0, h / 2.0, "(no data)", 11.0, "middle", "#777777");
+            return doc.finish();
+        }
+        let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &(x, y) in &all {
+            x0 = x0.min(x);
+            x1 = x1.max(x);
+            y0 = y0.min(y);
+            y1 = y1.max(y);
+        }
+        // Pad the y range slightly so lines do not hug the frame.
+        let pad = ((y1 - y0) * 0.05).max(1e-9);
+        let xs = LinearScale::new((x0, x1), (left, right));
+        let ys = LinearScale::new((y0 - pad, y1 + pad), (bottom, top));
+        draw_axes(&mut doc, &xs, &ys, &self.x_label, &self.y_label, left, bottom, right, top);
+
+        for (x, label) in &self.vlines {
+            let px = xs.apply(*x);
+            doc.dashed_line(px, top, px, bottom, "#888888", 1.0);
+            if !label.is_empty() {
+                doc.text(px + 3.0, top + 10.0, label, 9.0, "start", "#555555");
+            }
+        }
+
+        for (i, s) in self.series.iter().enumerate() {
+            let color = if s.color.is_empty() {
+                category_color(i).to_string()
+            } else {
+                s.color.clone()
+            };
+            let pts: Vec<(f64, f64)> =
+                s.points.iter().map(|&(x, y)| (xs.apply(x), ys.apply(y))).collect();
+            doc.polyline(&pts, &color, s.width);
+        }
+
+        if self.legend && self.series.len() > 1 {
+            let mut lx = left + 8.0;
+            let ly = top + 6.0;
+            for (i, s) in self.series.iter().enumerate() {
+                if s.label.is_empty() {
+                    continue;
+                }
+                let color = if s.color.is_empty() {
+                    category_color(i).to_string()
+                } else {
+                    s.color.clone()
+                };
+                doc.line(lx, ly, lx + 14.0, ly, &color, 2.0);
+                doc.text(lx + 18.0, ly + 3.0, &s.label, 9.0, "start", "#333333");
+                lx += 18.0 + 7.0 * s.label.chars().count() as f64 + 14.0;
+            }
+        }
+        doc.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_series_and_title() {
+        let chart = LineChart::new("Wc per length")
+            .add(Series::from_values("Wc", &[0.1, 0.5, 0.9]))
+            .add(Series::from_values("We", &[0.9, 0.5, 0.1]));
+        let svg = chart.render();
+        assert!(svg.contains("Wc per length"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains("Wc"));
+        assert!(svg.contains("We"));
+    }
+
+    #[test]
+    fn empty_chart_is_graceful() {
+        let svg = LineChart::new("empty").render();
+        assert!(svg.contains("(no data)"));
+    }
+
+    #[test]
+    fn vline_marker() {
+        let chart = LineChart::new("t")
+            .add(Series::from_values("a", &[1.0, 2.0]));
+        let mut chart = chart;
+        chart.vlines.push((0.5, "ℓ̄".into()));
+        let svg = chart.render();
+        assert!(svg.contains("stroke-dasharray"));
+    }
+
+    #[test]
+    fn custom_color_respected() {
+        let chart =
+            LineChart::new("c").add(Series::from_values("a", &[1.0, 2.0]).with_color("#123456"));
+        assert!(chart.render().contains("#123456"));
+    }
+
+    #[test]
+    fn flat_series_does_not_divide_by_zero() {
+        let chart = LineChart::new("flat").add(Series::from_values("a", &[2.0, 2.0, 2.0]));
+        let svg = chart.render();
+        assert!(!svg.contains("NaN"));
+    }
+}

@@ -1,0 +1,19 @@
+//! Chart builders on top of the [`crate::svg`] writer.
+//!
+//! Each chart is a small builder struct with a `render() -> String`
+//! producing a standalone SVG fragment suitable for direct embedding in
+//! the HTML report.
+
+pub mod boxplot;
+pub mod graphplot;
+pub mod heatmap;
+pub mod histogram;
+pub mod line;
+pub mod scatter;
+
+pub use boxplot::BoxPlot;
+pub use graphplot::GraphPlot;
+pub use heatmap::Heatmap;
+pub use histogram::Histogram;
+pub use line::LineChart;
+pub use scatter::ScatterPlot;

@@ -1,0 +1,106 @@
+//! 2-D scatter plot — the subsequence projection view of the Graph frame.
+
+use crate::color::category_color;
+use crate::svg::{draw_axes, LinearScale, SvgDoc};
+
+/// A scatter plot with per-point class colouring.
+#[derive(Debug, Clone)]
+pub struct ScatterPlot {
+    /// Chart title.
+    pub title: String,
+    /// `(x, y)` points.
+    pub points: Vec<(f64, f64)>,
+    /// Class of each point (drives colour); empty = single class.
+    pub classes: Vec<usize>,
+    /// Point radius in pixels.
+    pub radius: f64,
+    /// Pixel size.
+    pub size: (f64, f64),
+}
+
+impl ScatterPlot {
+    /// Creates a scatter plot (size 420 × 360).
+    pub fn new(title: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        ScatterPlot {
+            title: title.into(),
+            points,
+            classes: Vec::new(),
+            radius: 1.6,
+            size: (420.0, 360.0),
+        }
+    }
+
+    /// Sets point classes (builder style).
+    pub fn with_classes(mut self, classes: Vec<usize>) -> Self {
+        assert_eq!(classes.len(), self.points.len(), "one class per point");
+        self.classes = classes;
+        self
+    }
+
+    /// Renders to SVG.
+    pub fn render(&self) -> String {
+        let (w, h) = self.size;
+        let (left, right, top, bottom) = (48.0, w - 14.0, 30.0, h - 36.0);
+        let mut doc = SvgDoc::new(w, h);
+        doc.rect(0.0, 0.0, w, h, "#ffffff", "none");
+        doc.text(w / 2.0, 18.0, &self.title, 12.0, "middle", "#111111");
+        if self.points.is_empty() {
+            doc.text(w / 2.0, h / 2.0, "(no points)", 11.0, "middle", "#777777");
+            return doc.finish();
+        }
+        let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &(x, y) in &self.points {
+            x0 = x0.min(x);
+            x1 = x1.max(x);
+            y0 = y0.min(y);
+            y1 = y1.max(y);
+        }
+        let xs = LinearScale::new((x0, x1), (left, right));
+        let ys = LinearScale::new((y0, y1), (bottom, top));
+        draw_axes(&mut doc, &xs, &ys, "PC1", "PC2", left, bottom, right, top);
+        for (i, &(x, y)) in self.points.iter().enumerate() {
+            let color = if self.classes.is_empty() {
+                category_color(0)
+            } else {
+                category_color(self.classes[i])
+            };
+            doc.circle(xs.apply(x), ys.apply(y), self.radius, color, "none");
+        }
+        doc.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_points() {
+        let plot = ScatterPlot::new("proj", vec![(0.0, 0.0), (1.0, 1.0), (2.0, 0.5)]);
+        let svg = plot.render();
+        assert!(svg.contains("proj"));
+        assert_eq!(svg.matches("<circle").count(), 3);
+        assert!(svg.contains("PC1"));
+    }
+
+    #[test]
+    fn class_colors() {
+        let plot = ScatterPlot::new("p", vec![(0.0, 0.0), (1.0, 1.0)])
+            .with_classes(vec![0, 1]);
+        let svg = plot.render();
+        assert!(svg.contains(crate::color::CATEGORY10[0]));
+        assert!(svg.contains(crate::color::CATEGORY10[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "one class per point")]
+    fn class_count_mismatch_panics() {
+        ScatterPlot::new("p", vec![(0.0, 0.0)]).with_classes(vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_graceful() {
+        assert!(ScatterPlot::new("p", vec![]).render().contains("(no points)"));
+    }
+}

@@ -1,0 +1,248 @@
+//! Extension: Series2Graph-style subsequence anomaly scoring.
+//!
+//! k-Graph descends from Series2Graph (Boniol & Palpanas, PVLDB 2020),
+//! which uses the same graph embedding for *anomaly detection*: a
+//! subsequence is anomalous when its trajectory crosses rarely-travelled
+//! edges. Since every [`GraphLayer`] already stores the embedding and the
+//! transition weights, this module adds that capability on top of a fitted
+//! model — the "future work" direction the demo's lineage points to.
+//!
+//! Scores are in `[0, 1]`: 0 = the most common transitions in the graph,
+//! 1 = transitions never seen at fit time.
+
+use crate::build::GraphLayer;
+use tsgraph::NodeId;
+
+/// Rarity of each transition along a node path.
+///
+/// For the transition `a → b` the score is `1 − w(a→b) / w_out(a)`, where
+/// `w_out(a)` is the weight of `a`'s *modal* outgoing edge — so following
+/// the most common continuation scores 0 and rare branches approach 1.
+/// Transitions without an edge (never observed at fit time) score 1;
+/// self-transitions score 0 (dwelling inside a pattern is handled by the
+/// embedding-gap term of [`anomaly_scores`]). Output length is
+/// `path.len() − 1` (empty for trivial paths).
+pub fn transition_scores(layer: &GraphLayer, path: &[NodeId]) -> Vec<f64> {
+    if path.len() < 2 {
+        return Vec::new();
+    }
+    let modal_out = |a: NodeId| -> f64 {
+        layer
+            .graph
+            .out_edges(a)
+            .iter()
+            .map(|&e| *layer.graph.edge(e))
+            .fold(1.0f64, f64::max)
+    };
+    path.windows(2)
+        .map(|w| {
+            if w[0] == w[1] {
+                return 0.0;
+            }
+            match layer.graph.edge_between(w[0], w[1]) {
+                Some(e) => 1.0 - *layer.graph.edge(e) / modal_out(w[0]),
+                None => 1.0,
+            }
+        })
+        .collect()
+}
+
+/// Distance of each projected window to its assigned node's radius,
+/// normalised by the embedding's radial scale (the median node radius):
+/// `min(1, gap / scale)`. Windows whose shapes were never seen at fit time
+/// project into empty regions of the embedding and score high, regardless
+/// of which node they fall back to.
+pub fn embedding_gap_scores(layer: &GraphLayer, values: &[f64]) -> Option<Vec<f64>> {
+    if values.len() < layer.length || layer.graph.node_count() == 0 {
+        return None;
+    }
+    let emb = &layer.embedding;
+    let mut radii: Vec<f64> = emb.nodes.iter().map(|n| n.radius).collect();
+    radii.sort_by(|a, b| a.partial_cmp(b).expect("NaN radius"));
+    let scale = radii[radii.len() / 2].max(1e-9);
+    let assignment = crate::nodes::NodeAssignment {
+        nodes: emb.nodes.clone(),
+        point_node: Vec::new(),
+        center: emb.center,
+        psi: emb.psi,
+    };
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    while start + layer.length <= values.len() {
+        let z = tscore::transform::znorm(&values[start..start + layer.length]);
+        let p = emb.pca.project(&z);
+        let point = (p[0], *p.get(1).unwrap_or(&0.0));
+        let node = crate::nodes::assign_point(&assignment, point);
+        let dx = point.0 - emb.center.0;
+        let dy = point.1 - emb.center.1;
+        let r = (dx * dx + dy * dy).sqrt();
+        let gap = (emb.nodes[node].radius - r).abs();
+        out.push((gap / scale).min(1.0));
+        start += emb.stride;
+    }
+    Some(out)
+}
+
+/// Anomaly score per window position of an arbitrary series.
+///
+/// Combines two kinds of evidence, each in `[0, 1]`:
+///
+/// * **transition rarity** — the trajectory crosses edges that were rare
+///   (or absent) at fit time ([`transition_scores`]),
+/// * **embedding gap** — the window's shape projects far from every known
+///   pattern node ([`embedding_gap_scores`]); this is what catches
+///   "frozen"/dwelling anomalies that produce no transitions at all.
+///
+/// The blend (equal weights) is smoothed with a centred moving average of
+/// width `context` (≥ 1). Returns `None` when the series is shorter than
+/// one window.
+pub fn anomaly_scores(layer: &GraphLayer, values: &[f64], context: usize) -> Option<Vec<f64>> {
+    let path = layer.assign_path(values)?;
+    let trans = transition_scores(layer, &path);
+    let gaps = embedding_gap_scores(layer, values)?;
+    if gaps.is_empty() {
+        return Some(Vec::new());
+    }
+    // Align: transition i sits between windows i and i+1; attribute it to
+    // window i (the last window keeps only its gap evidence).
+    let raw: Vec<f64> = (0..gaps.len())
+        .map(|i| {
+            let t = if i < trans.len() { trans[i] } else { 0.0 };
+            0.5 * t + 0.5 * gaps[i]
+        })
+        .collect();
+    let context = context.max(1);
+    let half = context / 2;
+    let smoothed = (0..raw.len())
+        .map(|i| {
+            let lo = i.saturating_sub(half);
+            let hi = (i + half + 1).min(raw.len());
+            raw[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+        })
+        .collect();
+    Some(smoothed)
+}
+
+/// Indices of the `k` highest-scoring positions, greedily selected with an
+/// exclusion zone of `exclusion` positions around each pick (standard
+/// discord-discovery post-processing).
+pub fn top_anomalies(scores: &[f64], k: usize, exclusion: usize) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("NaN score"));
+    let mut picked: Vec<usize> = Vec::new();
+    for i in order {
+        if picked.len() == k {
+            break;
+        }
+        if picked.iter().all(|&p| p.abs_diff(i) > exclusion) {
+            picked.push(i);
+        }
+    }
+    picked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::KGraphConfig;
+    use crate::pipeline::KGraph;
+    use tscore::{Dataset, DatasetKind, TimeSeries};
+
+    /// Clean periodic dataset; the anomaly test injects a burst later.
+    fn clean_dataset() -> Dataset {
+        let series: Vec<TimeSeries> = (0..8)
+            .map(|p| {
+                TimeSeries::new((0..160).map(|i| ((i + p) as f64 * 0.4).sin()).collect())
+            })
+            .collect();
+        Dataset::new("clean", DatasetKind::Simulated, series)
+    }
+
+    fn fitted() -> crate::pipeline::KGraphModel {
+        let cfg = KGraphConfig {
+            n_lengths: 1,
+            psi: 16,
+            pca_sample: 600,
+            n_init: 2,
+            ..KGraphConfig::new(1)
+        }
+        .with_lengths(vec![20]);
+        KGraph::new(cfg).fit(&clean_dataset())
+    }
+
+    #[test]
+    fn normal_series_scores_low() {
+        let model = fitted();
+        let fresh: Vec<f64> = (0..160).map(|i| ((i + 3) as f64 * 0.4).sin()).collect();
+        let scores = anomaly_scores(model.best(), &fresh, 5).expect("long enough");
+        let mean = tscore::stats::mean(&scores);
+        assert!(mean < 0.6, "normal series mean score {mean}");
+    }
+
+    #[test]
+    fn injected_discord_scores_highest() {
+        let model = fitted();
+        // Same generator with a flat-line discord in the middle.
+        let mut values: Vec<f64> = (0..160).map(|i| (i as f64 * 0.4).sin()).collect();
+        for v in values.iter_mut().skip(80).take(14) {
+            *v = 2.5;
+        }
+        let scores = anomaly_scores(model.best(), &values, 5).expect("long enough");
+        let peak = tscore::stats::argmax(&scores).expect("non-empty");
+        // The peak must fall inside (or right at the edges of) the
+        // injected window, accounting for window length 20.
+        assert!(
+            (60..=96).contains(&peak),
+            "discord at 80..94, peak found at {peak} (scores len {})",
+            scores.len()
+        );
+        // And the discord region must outscore the clean region.
+        let clean_mean = tscore::stats::mean(&scores[..40]);
+        let discord_mean = tscore::stats::mean(&scores[70..90]);
+        assert!(
+            discord_mean > clean_mean + 0.1,
+            "discord {discord_mean:.3} vs clean {clean_mean:.3}"
+        );
+    }
+
+    #[test]
+    fn transition_scores_bounds_and_lengths() {
+        let model = fitted();
+        let layer = model.best();
+        let path = &layer.paths[0];
+        let scores = transition_scores(layer, path);
+        assert_eq!(scores.len(), path.len() - 1);
+        assert!(scores.iter().all(|&s| (0.0..=1.0).contains(&s)));
+        // Trivial paths.
+        assert!(transition_scores(layer, &[]).is_empty());
+        assert!(transition_scores(layer, &path[..1]).is_empty());
+    }
+
+    #[test]
+    fn self_transitions_score_zero() {
+        let model = fitted();
+        let layer = model.best();
+        let n = layer.paths[0][0];
+        let scores = transition_scores(layer, &[n, n, n]);
+        assert_eq!(scores, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn short_series_is_none() {
+        let model = fitted();
+        assert!(anomaly_scores(model.best(), &[1.0, 2.0], 3).is_none());
+    }
+
+    #[test]
+    fn top_anomalies_respect_exclusion() {
+        let scores = vec![0.1, 0.9, 0.85, 0.2, 0.8, 0.1];
+        let picks = top_anomalies(&scores, 2, 1);
+        assert_eq!(picks[0], 1);
+        // Index 2 is within the exclusion zone of 1 → next is 4.
+        assert_eq!(picks[1], 4);
+        // Asking for more than available returns what fits.
+        let picks_all = top_anomalies(&scores, 10, 2);
+        assert!(picks_all.len() <= scores.len());
+        assert!(top_anomalies(&[], 3, 1).is_empty());
+    }
+}

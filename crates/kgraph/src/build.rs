@@ -1,0 +1,275 @@
+//! Stage 1c — graph construction.
+//!
+//! Nodes from the radial scan become graph nodes carrying the *pattern*
+//! they represent (the mean of their z-normalised subsequences); edges
+//! connect temporally consecutive nodes within each series, weighted by
+//! transition frequency. The result is the paper's `G_ℓ = (N_ℓ, E_ℓ)`.
+
+use crate::embed::Projection;
+use crate::nodes::{assign_point, NodeAssignment, RadialNode};
+use linalg::pca::Pca;
+use tscore::transform::znorm;
+use tscore::Dataset;
+use tsgraph::{DiGraph, NodeId};
+
+/// Payload of a graph node.
+#[derive(Debug, Clone)]
+pub struct NodePattern {
+    /// Radial-scan sector the node came from.
+    pub sector: usize,
+    /// Radial position of the density mode.
+    pub radius: f64,
+    /// Number of subsequences mapped to this node.
+    pub count: usize,
+    /// Mean z-normalised subsequence of the node (length ℓ) — the pattern
+    /// the Graph frame displays when a node is selected.
+    pub pattern: Vec<f64>,
+}
+
+/// A k-Graph graph: nodes carry patterns, edges carry transition counts.
+pub type PatternGraph = DiGraph<NodePattern, f64>;
+
+/// The stored embedding of one layer: everything needed to map *new*
+/// series into the layer's graph (out-of-sample assignment).
+#[derive(Debug, Clone)]
+pub struct LayerEmbedding {
+    /// The PCA fitted on this layer's subsequences.
+    pub pca: Pca,
+    /// Node polar coordinates, in graph-node-id order.
+    pub nodes: Vec<RadialNode>,
+    /// Polar origin of the radial scan.
+    pub center: (f64, f64),
+    /// Number of angular sectors.
+    pub psi: usize,
+    /// Subsequence stride used at fit time.
+    pub stride: usize,
+}
+
+/// Everything the pipeline derives for one subsequence length ℓ.
+#[derive(Debug, Clone)]
+pub struct GraphLayer {
+    /// Subsequence length ℓ.
+    pub length: usize,
+    /// The graph `G_ℓ`.
+    pub graph: PatternGraph,
+    /// Node path of every series (temporal order, one entry per window).
+    pub paths: Vec<Vec<NodeId>>,
+    /// Per-length clustering partition `L_ℓ` (filled by the pipeline).
+    pub labels: Vec<usize>,
+    /// The embedding, kept so new series can be routed through the graph.
+    pub embedding: LayerEmbedding,
+}
+
+impl GraphLayer {
+    /// Routes an arbitrary series through this layer's graph: z-normalises
+    /// each (strided) window, projects it with the stored PCA and assigns
+    /// it to the nearest node of its sector.
+    ///
+    /// Returns the node path; errors (with `None`) when the series is
+    /// shorter than one window or the graph is empty.
+    pub fn assign_path(&self, values: &[f64]) -> Option<Vec<NodeId>> {
+        if values.len() < self.length || self.graph.node_count() == 0 {
+            return None;
+        }
+        let emb = &self.embedding;
+        let assignment = NodeAssignment {
+            nodes: emb.nodes.clone(),
+            point_node: Vec::new(),
+            center: emb.center,
+            psi: emb.psi,
+        };
+        let mut path = Vec::new();
+        let mut start = 0usize;
+        while start + self.length <= values.len() {
+            let z = znorm(&values[start..start + self.length]);
+            let p = emb.pca.project(&z);
+            let point = (p[0], *p.get(1).unwrap_or(&0.0));
+            path.push(NodeId(assign_point(&assignment, point) as u32));
+            start += emb.stride;
+        }
+        Some(path)
+    }
+}
+
+/// Builds `G_ℓ` and the per-series node paths from a projection and its
+/// node assignment. `stride` is recorded in the layer's embedding so
+/// out-of-sample routing matches fit-time extraction.
+pub fn build_graph_with_stride(
+    dataset: &Dataset,
+    proj: &Projection,
+    assign: &NodeAssignment,
+    stride: usize,
+) -> GraphLayer {
+    let mut graph: PatternGraph = DiGraph::with_capacity(assign.nodes.len(), assign.nodes.len() * 2);
+    // Create graph nodes; accumulate patterns afterwards.
+    let node_ids: Vec<NodeId> = assign
+        .nodes
+        .iter()
+        .map(|n| {
+            graph.add_node(NodePattern {
+                sector: n.sector,
+                radius: n.radius,
+                count: 0,
+                pattern: vec![0.0; proj.length],
+            })
+        })
+        .collect();
+
+    // Accumulate per-node pattern sums and counts.
+    for (pi, &ni) in assign.point_node.iter().enumerate() {
+        let r = proj.refs[pi];
+        let series = dataset.series()[r.series].values();
+        let sub = znorm(&series[r.start..r.start + r.len]);
+        let node = graph.node_mut(node_ids[ni]);
+        node.count += 1;
+        for (acc, v) in node.pattern.iter_mut().zip(&sub) {
+            *acc += v;
+        }
+    }
+    for &id in &node_ids {
+        let node = graph.node_mut(id);
+        if node.count > 0 {
+            let c = node.count as f64;
+            for v in node.pattern.iter_mut() {
+                *v /= c;
+            }
+        }
+    }
+
+    // Node paths per series + weighted edges between consecutive nodes.
+    let mut paths: Vec<Vec<NodeId>> = Vec::with_capacity(dataset.len());
+    for s in 0..dataset.len() {
+        let range = proj.starts[s]..proj.starts[s + 1];
+        let path: Vec<NodeId> = assign.point_node[range]
+            .iter()
+            .map(|&ni| node_ids[ni])
+            .collect();
+        for w in path.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            if a == b {
+                // Self-transitions (staying in the same pattern) are not
+                // informative edges; k-Graph graphs omit self loops.
+                continue;
+            }
+            match graph.edge_between(a, b) {
+                Some(e) => *graph.edge_mut(e) += 1.0,
+                None => {
+                    graph.add_edge(a, b, 1.0);
+                }
+            }
+        }
+        paths.push(path);
+    }
+
+    let embedding = LayerEmbedding {
+        pca: proj.pca.clone(),
+        nodes: assign.nodes.clone(),
+        center: assign.center,
+        psi: assign.psi,
+        stride,
+    };
+    GraphLayer { length: proj.length, graph, paths, labels: Vec::new(), embedding }
+}
+
+/// Builds `G_ℓ` with the default stride of 1. See
+/// [`build_graph_with_stride`].
+pub fn build_graph(dataset: &Dataset, proj: &Projection, assign: &NodeAssignment) -> GraphLayer {
+    build_graph_with_stride(dataset, proj, assign, 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::embed::project_subsequences;
+    use crate::nodes::radial_scan;
+    use tscore::{DatasetKind, TimeSeries};
+
+    fn toy_layer() -> (Dataset, GraphLayer) {
+        let mut series = Vec::new();
+        for f in [0.2f64, 0.9] {
+            for p in 0..4 {
+                series.push(TimeSeries::new(
+                    (0..80).map(|i| ((i + p) as f64 * f).sin()).collect(),
+                ));
+            }
+        }
+        let ds = Dataset::new("toy", DatasetKind::Simulated, series);
+        let proj = project_subsequences(&ds, 16, 1, 2000);
+        let assign = radial_scan(&proj, 12, 128, 0.05);
+        let layer = build_graph(&ds, &proj, &assign);
+        (ds, layer)
+    }
+
+    #[test]
+    fn paths_cover_all_series_windows() {
+        let (ds, layer) = toy_layer();
+        assert_eq!(layer.paths.len(), ds.len());
+        for path in &layer.paths {
+            assert_eq!(path.len(), 80 - 16 + 1);
+        }
+        assert_eq!(layer.length, 16);
+    }
+
+    #[test]
+    fn edges_reference_valid_nodes_with_positive_weights() {
+        let (_, layer) = toy_layer();
+        assert!(layer.graph.edge_count() > 0, "graph should have transitions");
+        for (e, s, t, &w) in layer.graph.edges_iter() {
+            assert!(s.index() < layer.graph.node_count());
+            assert!(t.index() < layer.graph.node_count());
+            assert!(w >= 1.0, "edge {e:?} weight {w}");
+            assert_ne!(s, t, "no self loops");
+        }
+    }
+
+    #[test]
+    fn node_counts_sum_to_total_windows() {
+        let (ds, layer) = toy_layer();
+        let total: usize = layer
+            .graph
+            .nodes_iter()
+            .map(|(_, n)| n.count)
+            .sum();
+        assert_eq!(total, ds.len() * (80 - 16 + 1));
+    }
+
+    #[test]
+    fn node_patterns_are_znormed_averages() {
+        let (_, layer) = toy_layer();
+        for (_, node) in layer.graph.nodes_iter() {
+            assert_eq!(node.pattern.len(), 16);
+            assert!(node.count > 0, "no orphan nodes expected in this toy");
+            // Average of z-normalised windows has near-zero mean.
+            let mean: f64 = node.pattern.iter().sum::<f64>() / 16.0;
+            assert!(mean.abs() < 0.2, "pattern mean {mean}");
+            assert!(node.pattern.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn edge_weights_count_transitions() {
+        let (_, layer) = toy_layer();
+        // Summed edge weights = number of consecutive pairs that changed
+        // node.
+        let total_weight: f64 = layer.graph.edges_iter().map(|(_, _, _, &w)| w).sum();
+        let changes: usize = layer
+            .paths
+            .iter()
+            .map(|p| p.windows(2).filter(|w| w[0] != w[1]).count())
+            .sum();
+        assert_eq!(total_weight as usize, changes);
+    }
+
+    #[test]
+    fn similar_series_share_nodes() {
+        let (_, layer) = toy_layer();
+        // Series 0..4 come from the same generator (phase-shifted): their
+        // path node sets should overlap substantially.
+        let set = |p: &Vec<NodeId>| p.iter().copied().collect::<std::collections::HashSet<_>>();
+        let s0 = set(&layer.paths[0]);
+        let s1 = set(&layer.paths[1]);
+        let inter = s0.intersection(&s1).count();
+        let union = s0.union(&s1).count();
+        assert!(inter as f64 / union as f64 > 0.5, "{inter}/{union}");
+    }
+}

@@ -1,0 +1,190 @@
+//! Stage 1a — subsequence projection.
+//!
+//! For one length ℓ: z-normalise every (strided) subsequence of every
+//! series and project it into 2-D with PCA, "retaining the essential
+//! shapes" (paper §II-A). The PCA is fitted on a bounded deterministic
+//! sample so the cost stays linear in the number of subsequences.
+
+use linalg::matrix::Matrix;
+use linalg::pca::Pca;
+use tscore::transform::znorm;
+use tscore::windows::{window_count, SubseqRef};
+use tscore::Dataset;
+
+/// The 2-D projection of all subsequences of one length.
+#[derive(Debug, Clone)]
+pub struct Projection {
+    /// Subsequence length ℓ.
+    pub length: usize,
+    /// One `(x, y)` point per subsequence, in [`Self::refs`] order.
+    pub points: Vec<(f64, f64)>,
+    /// Which subsequence each point came from.
+    pub refs: Vec<SubseqRef>,
+    /// Index of the first point of each series (plus a trailing sentinel),
+    /// so `points[starts[s]..starts[s+1]]` are series `s`'s points in
+    /// temporal order.
+    pub starts: Vec<usize>,
+    /// The fitted PCA (kept for inspection in the Under-the-hood frame).
+    pub pca: Pca,
+}
+
+impl Projection {
+    /// Points of series `s` in temporal order.
+    pub fn series_points(&self, s: usize) -> &[(f64, f64)] {
+        &self.points[self.starts[s]..self.starts[s + 1]]
+    }
+}
+
+/// Projects all subsequences of length `length` (stride `stride`).
+///
+/// `pca_sample` bounds the PCA *fit* set: subsequences are sampled evenly
+/// (deterministically) when there are more. Panics if no series is long
+/// enough for one window.
+pub fn project_subsequences(
+    dataset: &Dataset,
+    length: usize,
+    stride: usize,
+    pca_sample: usize,
+) -> Projection {
+    assert!(length >= 2, "subsequence length must be >= 2");
+    assert!(stride >= 1, "stride must be >= 1");
+    let total: usize = dataset
+        .series()
+        .iter()
+        .map(|s| window_count(s.len(), length, stride))
+        .sum();
+    assert!(total > 0, "no series admits a window of length {length}");
+
+    // Collect z-normalised subsequences and their refs.
+    let mut rows: Vec<Vec<f64>> = Vec::with_capacity(total);
+    let mut refs: Vec<SubseqRef> = Vec::with_capacity(total);
+    let mut starts: Vec<usize> = Vec::with_capacity(dataset.len() + 1);
+    for (si, series) in dataset.series().iter().enumerate() {
+        starts.push(rows.len());
+        let vals = series.values();
+        let mut start = 0usize;
+        while start + length <= vals.len() {
+            rows.push(znorm(&vals[start..start + length]));
+            refs.push(SubseqRef { series: si, start, len: length });
+            start += stride;
+        }
+    }
+    starts.push(rows.len());
+
+    // Fit PCA on an even deterministic sample.
+    let fit_rows: Vec<Vec<f64>> = if rows.len() <= pca_sample.max(8) {
+        rows.clone()
+    } else {
+        let step = rows.len() as f64 / pca_sample as f64;
+        (0..pca_sample)
+            .map(|i| rows[(i as f64 * step) as usize].clone())
+            .collect()
+    };
+    let pca = Pca::fit(&Matrix::from_rows(&fit_rows), 2);
+
+    let points: Vec<(f64, f64)> = rows
+        .iter()
+        .map(|r| {
+            let p = pca.project(r);
+            (p[0], *p.get(1).unwrap_or(&0.0))
+        })
+        .collect();
+    Projection { length, points, refs, starts, pca }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tscore::{DatasetKind, TimeSeries};
+
+    fn toy_dataset() -> Dataset {
+        let mut series = Vec::new();
+        for f in [0.2f64, 0.8] {
+            for p in 0..3 {
+                series.push(TimeSeries::new(
+                    (0..60).map(|i| ((i + p) as f64 * f).sin()).collect(),
+                ));
+            }
+        }
+        Dataset::new("toy", DatasetKind::Simulated, series)
+    }
+
+    #[test]
+    fn projection_counts() {
+        let ds = toy_dataset();
+        let proj = project_subsequences(&ds, 16, 1, 1000);
+        // 6 series × (60 − 16 + 1) windows.
+        assert_eq!(proj.points.len(), 6 * 45);
+        assert_eq!(proj.refs.len(), proj.points.len());
+        assert_eq!(proj.starts.len(), 7);
+        assert_eq!(proj.series_points(0).len(), 45);
+        assert_eq!(proj.length, 16);
+    }
+
+    #[test]
+    fn strided_projection() {
+        let ds = toy_dataset();
+        let proj = project_subsequences(&ds, 16, 4, 1000);
+        assert_eq!(proj.series_points(0).len(), (60 - 16) / 4 + 1);
+        // Refs respect the stride.
+        assert_eq!(proj.refs[1].start, 4);
+    }
+
+    #[test]
+    fn refs_are_temporal_within_series() {
+        let ds = toy_dataset();
+        let proj = project_subsequences(&ds, 8, 1, 1000);
+        for s in 0..ds.len() {
+            let range = proj.starts[s]..proj.starts[s + 1];
+            let refs = &proj.refs[range];
+            assert!(refs.iter().all(|r| r.series == s));
+            assert!(refs.windows(2).all(|w| w[1].start == w[0].start + 1));
+        }
+    }
+
+    #[test]
+    fn different_shapes_separate_in_projection() {
+        // Two very different generators; their projected clouds should not
+        // fully overlap. Compare centroid distance to cloud spread.
+        let ds = toy_dataset();
+        let proj = project_subsequences(&ds, 16, 1, 1000);
+        let cloud_a: Vec<(f64, f64)> =
+            (0..3).flat_map(|s| proj.series_points(s).to_vec()).collect();
+        let cloud_b: Vec<(f64, f64)> =
+            (3..6).flat_map(|s| proj.series_points(s).to_vec()).collect();
+        let centroid = |c: &[(f64, f64)]| {
+            let n = c.len() as f64;
+            (
+                c.iter().map(|p| p.0).sum::<f64>() / n,
+                c.iter().map(|p| p.1).sum::<f64>() / n,
+            )
+        };
+        let ca = centroid(&cloud_a);
+        let cb = centroid(&cloud_b);
+        let dist = ((ca.0 - cb.0).powi(2) + (ca.1 - cb.1).powi(2)).sqrt();
+        assert!(dist > 0.1, "clouds should separate, centroid gap {dist}");
+    }
+
+    #[test]
+    fn pca_sampling_bounds_fit_cost() {
+        let ds = toy_dataset();
+        // Tiny sample still produces a valid projection of all points.
+        let proj = project_subsequences(&ds, 16, 1, 16);
+        assert_eq!(proj.points.len(), 6 * 45);
+        assert!(proj.points.iter().all(|p| p.0.is_finite() && p.1.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "no series admits a window")]
+    fn oversized_window_panics() {
+        let ds = toy_dataset();
+        project_subsequences(&ds, 100, 1, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "length must be >= 2")]
+    fn tiny_length_panics() {
+        let ds = toy_dataset();
+        project_subsequences(&ds, 1, 1, 100);
+    }
+}

@@ -1,0 +1,158 @@
+//! Stage 4 — interpretability computation and length selection.
+//!
+//! Two criteria rank the `M` graphs (paper §II-B):
+//!
+//! * **consistency** `Wc(ℓ) = ARI(L, L_ℓ)` — agreement between the final
+//!   consensus labels and the per-length partition,
+//! * **interpretability factor** `We(ℓ)` — mean over clusters of the
+//!   maximum node exclusivity in `G_ℓ`.
+//!
+//! The selected length `ℓ̄` maximises `Wc(ℓ) · We(ℓ)`; its graph is the one
+//! the Graph frame displays and from which graphoids are computed.
+
+use crate::build::GraphLayer;
+use crate::graphoid::ClusterStats;
+use clustering::metrics::adjusted_rand_index;
+
+/// Interpretability summary of one length.
+#[derive(Debug, Clone, Copy)]
+pub struct LengthScore {
+    /// Subsequence length ℓ.
+    pub length: usize,
+    /// Consistency `Wc(ℓ)`.
+    pub wc: f64,
+    /// Interpretability factor `We(ℓ)`.
+    pub we: f64,
+}
+
+impl LengthScore {
+    /// The selection criterion `Wc · We`.
+    pub fn product(&self) -> f64 {
+        self.wc * self.we
+    }
+}
+
+/// Consistency of one layer: `ARI(final, L_ℓ)`, clamped at 0 (a negative
+/// ARI means "worse than chance", which carries no interpretive weight).
+pub fn consistency(final_labels: &[usize], layer_labels: &[usize]) -> f64 {
+    adjusted_rand_index(final_labels, layer_labels).max(0.0)
+}
+
+/// Interpretability factor: mean over clusters of the maximum node
+/// exclusivity, computed **under the final labels** on this layer's graph.
+pub fn interpretability_factor(layer: &GraphLayer, final_labels: &[usize], k: usize) -> f64 {
+    if k == 0 {
+        return 0.0;
+    }
+    let stats = ClusterStats::compute(layer, final_labels, k);
+    (0..k).map(|c| stats.max_node_exclusivity(c)).sum::<f64>() / k as f64
+}
+
+/// Scores every layer and returns `(scores, best_index)` where
+/// `best_index` maximises `Wc · We` (ties break toward the shorter length,
+/// which is cheaper to read).
+pub fn score_lengths(
+    layers: &[GraphLayer],
+    final_labels: &[usize],
+    k: usize,
+) -> (Vec<LengthScore>, usize) {
+    assert!(!layers.is_empty(), "need at least one layer");
+    let scores: Vec<LengthScore> = layers
+        .iter()
+        .map(|layer| LengthScore {
+            length: layer.length,
+            wc: consistency(final_labels, &layer.labels),
+            we: interpretability_factor(layer, final_labels, k),
+        })
+        .collect();
+    let mut best = 0usize;
+    for (i, s) in scores.iter().enumerate() {
+        if s.product() > scores[best].product() + 1e-12 {
+            best = i;
+        }
+    }
+    (scores, best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build_graph;
+    use crate::embed::project_subsequences;
+    use crate::features::cluster_layer;
+    use crate::nodes::radial_scan;
+    use tscore::{Dataset, DatasetKind, TimeSeries};
+
+    fn toy_layers() -> (Vec<GraphLayer>, Vec<usize>) {
+        let mut series = Vec::new();
+        let mut truth = Vec::new();
+        for (label, f) in [0.2f64, 0.9].into_iter().enumerate() {
+            for p in 0..5 {
+                series.push(TimeSeries::new(
+                    (0..80).map(|i| ((i + p) as f64 * f).sin()).collect(),
+                ));
+                truth.push(label);
+            }
+        }
+        let ds = Dataset::new("toy", DatasetKind::Simulated, series);
+        let mut layers = Vec::new();
+        for len in [12usize, 24] {
+            let proj = project_subsequences(&ds, len, 1, 2000);
+            let assign = radial_scan(&proj, 12, 128, 0.05);
+            let mut layer = build_graph(&ds, &proj, &assign);
+            layer.labels = cluster_layer(&layer, 2, 5, 0, true, true);
+            layers.push(layer);
+        }
+        (layers, truth)
+    }
+
+    #[test]
+    fn consistency_perfect_and_clamped() {
+        let a = vec![0, 0, 1, 1];
+        assert_eq!(consistency(&a, &a), 1.0);
+        // Permuted labels still perfect.
+        let b = vec![1, 1, 0, 0];
+        assert_eq!(consistency(&a, &b), 1.0);
+        // Anti-correlated partitions clamp to 0.
+        let c = vec![0, 1, 0, 1];
+        assert!(consistency(&a, &c) >= 0.0);
+    }
+
+    #[test]
+    fn we_in_unit_interval() {
+        let (layers, truth) = toy_layers();
+        for layer in &layers {
+            let we = interpretability_factor(layer, &truth, 2);
+            assert!((0.0..=1.0).contains(&we), "We = {we}");
+            // Well-separated generators ⇒ good exclusivity.
+            assert!(we > 0.5, "We = {we}");
+        }
+    }
+
+    #[test]
+    fn scoring_selects_argmax() {
+        let (layers, truth) = toy_layers();
+        let (scores, best) = score_lengths(&layers, &truth, 2);
+        assert_eq!(scores.len(), 2);
+        for s in &scores {
+            assert!(s.wc >= 0.0 && s.wc <= 1.0);
+            assert!(s.we >= 0.0 && s.we <= 1.0);
+        }
+        let best_product = scores[best].product();
+        for s in &scores {
+            assert!(best_product >= s.product() - 1e-12);
+        }
+    }
+
+    #[test]
+    fn degenerate_k_zero() {
+        let (layers, truth) = toy_layers();
+        assert_eq!(interpretability_factor(&layers[0], &truth, 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn empty_layers_panic() {
+        score_lengths(&[], &[0], 1);
+    }
+}

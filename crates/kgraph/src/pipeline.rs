@@ -1,0 +1,420 @@
+//! The end-to-end k-Graph pipeline (paper Figure 1).
+
+use crate::build::GraphLayer;
+use crate::config::KGraphConfig;
+use crate::consensus::{consensus_labels, consensus_matrix};
+use crate::embed::project_subsequences;
+use crate::features::cluster_layer;
+use crate::graphoid::{gamma_graphoid, lambda_graphoid, ClusterStats, Graphoid};
+use crate::interpret::{score_lengths, LengthScore};
+use crate::nodes::radial_scan;
+use linalg::matrix::Matrix;
+use parking_lot::Mutex;
+use tscore::Dataset;
+
+/// The k-Graph estimator. Construct with a [`KGraphConfig`], call
+/// [`KGraph::fit`].
+#[derive(Debug, Clone)]
+pub struct KGraph {
+    /// Pipeline configuration.
+    pub config: KGraphConfig,
+}
+
+/// A fitted k-Graph model: the final partition plus every intermediate
+/// artefact the Graphint frames visualise.
+#[derive(Debug)]
+pub struct KGraphModel {
+    /// The configuration used.
+    pub config: KGraphConfig,
+    /// One graph layer per subsequence length, ascending by length; each
+    /// holds `G_ℓ`, the node paths and the per-length partition `L_ℓ`.
+    pub layers: Vec<GraphLayer>,
+    /// The consensus matrix `MC`.
+    pub consensus: Matrix,
+    /// Final labels `L`.
+    pub labels: Vec<usize>,
+    /// Per-length `(Wc, We)` scores.
+    pub scores: Vec<LengthScore>,
+    /// Index (into [`Self::layers`]) of the selected length ℓ̄.
+    pub best_layer: usize,
+}
+
+impl KGraph {
+    /// Creates an estimator with the given configuration.
+    pub fn new(config: KGraphConfig) -> Self {
+        KGraph { config }
+    }
+
+    /// Convenience: canonical configuration for `k` clusters.
+    pub fn with_k(k: usize, seed: u64) -> Self {
+        KGraph { config: KGraphConfig::new(k).with_seed(seed) }
+    }
+
+    /// Runs the full pipeline on a dataset.
+    ///
+    /// Panics when the dataset is empty or no valid subsequence length
+    /// exists (series shorter than 5 points).
+    pub fn fit(&self, dataset: &Dataset) -> KGraphModel {
+        assert!(!dataset.is_empty(), "cannot fit on an empty dataset");
+        let cfg = &self.config;
+        let lengths = cfg.resolve_lengths(dataset.min_len());
+        assert!(
+            !lengths.is_empty(),
+            "no valid subsequence lengths for min series length {}",
+            dataset.min_len()
+        );
+
+        // Stages 1–2, one job per length (Figure 1's Job 0 … Job M).
+        let mut layers: Vec<GraphLayer> = if cfg.parallel && lengths.len() > 1 {
+            let slots: Mutex<Vec<Option<GraphLayer>>> =
+                Mutex::new((0..lengths.len()).map(|_| None).collect());
+            crossbeam::thread::scope(|scope| {
+                for (i, &length) in lengths.iter().enumerate() {
+                    let slots = &slots;
+                    scope.spawn(move |_| {
+                        let layer = fit_layer(dataset, cfg, length);
+                        slots.lock()[i] = Some(layer);
+                    });
+                }
+            })
+            .expect("layer job panicked");
+            slots
+                .into_inner()
+                .into_iter()
+                .map(|s| s.expect("every slot filled"))
+                .collect()
+        } else {
+            lengths
+                .iter()
+                .map(|&length| fit_layer(dataset, cfg, length))
+                .collect()
+        };
+
+        // Stage 3: consensus across the per-length partitions.
+        let partitions: Vec<Vec<usize>> = layers.iter().map(|l| l.labels.clone()).collect();
+        let consensus = consensus_matrix(&partitions);
+        let labels = consensus_labels(&consensus, cfg.k, cfg.seed);
+
+        // Stage 4: score lengths and select ℓ̄.
+        let (scores, best_layer) = score_lengths(&layers, &labels, cfg.k);
+
+        // Keep layers sorted by length for stable reporting.
+        debug_assert!(layers.windows(2).all(|w| w[0].length <= w[1].length));
+        layers.shrink_to_fit();
+        KGraphModel { config: cfg.clone(), layers, consensus, labels, scores, best_layer }
+    }
+}
+
+/// Length-normalised node-crossing histogram of a path.
+fn path_histogram(path: &[tsgraph::NodeId], n_nodes: usize) -> Vec<f64> {
+    let mut h = vec![0.0f64; n_nodes];
+    for node in path {
+        h[node.index()] += 1.0;
+    }
+    let total = path.len().max(1) as f64;
+    for v in h.iter_mut() {
+        *v /= total;
+    }
+    h
+}
+
+/// One per-length job: embed → nodes → graph → features → k-Means.
+fn fit_layer(dataset: &Dataset, cfg: &KGraphConfig, length: usize) -> GraphLayer {
+    let proj = project_subsequences(dataset, length, cfg.stride, cfg.pca_sample);
+    let assign = radial_scan(&proj, cfg.psi, cfg.kde_grid, cfg.min_density_ratio);
+    let mut layer = crate::build::build_graph_with_stride(dataset, &proj, &assign, cfg.stride);
+    layer.labels = cluster_layer(
+        &layer,
+        cfg.k,
+        cfg.n_init,
+        cfg.seed_for_length(length),
+        cfg.node_features,
+        cfg.edge_features,
+    );
+    layer
+}
+
+impl KGraphModel {
+    /// The selected ("most interpretable") layer `G_ℓ̄`.
+    pub fn best(&self) -> &GraphLayer {
+        &self.layers[self.best_layer]
+    }
+
+    /// The selected subsequence length ℓ̄.
+    pub fn best_length(&self) -> usize {
+        self.best().length
+    }
+
+    /// Number of clusters of the final partition.
+    pub fn k(&self) -> usize {
+        self.config.k
+    }
+
+    /// Crossing statistics of the selected layer under the final labels.
+    pub fn best_stats(&self) -> ClusterStats {
+        ClusterStats::compute(self.best(), &self.labels, self.config.k)
+    }
+
+    /// λ-graphoid of `cluster` on the selected layer.
+    pub fn lambda_graphoid(&self, cluster: usize, lambda: f64) -> Graphoid {
+        lambda_graphoid(&self.best_stats(), self.best(), cluster, lambda)
+    }
+
+    /// γ-graphoid of `cluster` on the selected layer.
+    pub fn gamma_graphoid(&self, cluster: usize, gamma: f64) -> Graphoid {
+        gamma_graphoid(&self.best_stats(), self.best(), cluster, gamma)
+    }
+
+    /// γ-graphoids for every cluster at once (shares one stats pass).
+    pub fn all_gamma_graphoids(&self, gamma: f64) -> Vec<Graphoid> {
+        let stats = self.best_stats();
+        (0..self.config.k)
+            .map(|c| gamma_graphoid(&stats, self.best(), c, gamma))
+            .collect()
+    }
+
+    /// Predicts the cluster of a **new** series (out-of-sample).
+    ///
+    /// The series is routed through the selected graph `G_ℓ̄` using the
+    /// stored embedding and turned into the same node-crossing feature
+    /// vector the per-length clustering used; the nearest per-cluster mean
+    /// feature vector (under the final labels, length-normalised) wins.
+    ///
+    /// Returns `None` when the series is shorter than the selected
+    /// subsequence length.
+    pub fn predict(&self, values: &[f64]) -> Option<usize> {
+        let layer = self.best();
+        let path = layer.assign_path(values)?;
+        let n_nodes = layer.graph.node_count();
+        // Length-normalised node-crossing histogram of the query.
+        let query = path_histogram(&path, n_nodes);
+        // Per-cluster mean histograms of the training series.
+        let k = self.config.k;
+        let mut centroids = vec![vec![0.0f64; n_nodes]; k];
+        let mut sizes = vec![0usize; k];
+        for (train_path, &label) in layer.paths.iter().zip(&self.labels) {
+            sizes[label] += 1;
+            let h = path_histogram(train_path, n_nodes);
+            for (c, v) in centroids[label].iter_mut().zip(&h) {
+                *c += v;
+            }
+        }
+        for (c, &s) in centroids.iter_mut().zip(&sizes) {
+            if s > 0 {
+                for v in c.iter_mut() {
+                    *v /= s as f64;
+                }
+            }
+        }
+        (0..k)
+            .filter(|&c| sizes[c] > 0)
+            .min_by(|&a, &b| {
+                let da: f64 = centroids[a]
+                    .iter()
+                    .zip(&query)
+                    .map(|(x, y)| (x - y) * (x - y))
+                    .sum();
+                let db: f64 = centroids[b]
+                    .iter()
+                    .zip(&query)
+                    .map(|(x, y)| (x - y) * (x - y))
+                    .sum();
+                da.partial_cmp(&db).expect("NaN distance")
+            })
+            .or(Some(0))
+    }
+
+    /// Predicts every series of a dataset. Series shorter than ℓ̄ fall back
+    /// to cluster 0.
+    pub fn predict_dataset(&self, dataset: &Dataset) -> Vec<usize> {
+        dataset
+            .series()
+            .iter()
+            .map(|s| self.predict(s.values()).unwrap_or(0))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clustering::metrics::adjusted_rand_index;
+    use tscore::{DatasetKind, TimeSeries};
+
+    /// Two clearly distinct subsequence vocabularies.
+    fn toy_dataset() -> Dataset {
+        let mut series = Vec::new();
+        let mut labels = Vec::new();
+        for (label, f) in [0.2f64, 0.9].into_iter().enumerate() {
+            for p in 0..6 {
+                series.push(TimeSeries::new(
+                    (0..80).map(|i| ((i + p) as f64 * f).sin()).collect(),
+                ));
+                labels.push(label);
+            }
+        }
+        Dataset::with_labels("toy", DatasetKind::Simulated, series, labels).unwrap()
+    }
+
+    fn quick_config(k: usize) -> KGraphConfig {
+        KGraphConfig {
+            n_lengths: 3,
+            psi: 12,
+            pca_sample: 500,
+            n_init: 3,
+            ..KGraphConfig::new(k)
+        }
+    }
+
+    #[test]
+    fn end_to_end_recovers_clusters() {
+        let ds = toy_dataset();
+        let model = KGraph::new(quick_config(2)).fit(&ds);
+        let ari = adjusted_rand_index(ds.labels().unwrap(), &model.labels);
+        assert!(ari > 0.8, "ARI {ari}");
+    }
+
+    #[test]
+    fn model_artifacts_consistent() {
+        let ds = toy_dataset();
+        let model = KGraph::new(quick_config(2)).fit(&ds);
+        assert_eq!(model.labels.len(), ds.len());
+        assert_eq!(model.consensus.shape(), (ds.len(), ds.len()));
+        assert!(model.consensus.is_symmetric(1e-12));
+        assert_eq!(model.scores.len(), model.layers.len());
+        assert!(model.best_layer < model.layers.len());
+        assert_eq!(model.best_length(), model.layers[model.best_layer].length);
+        assert_eq!(model.k(), 2);
+        for layer in &model.layers {
+            assert_eq!(layer.labels.len(), ds.len());
+            assert_eq!(layer.paths.len(), ds.len());
+            assert!(layer.graph.node_count() > 0);
+        }
+    }
+
+    #[test]
+    fn parallel_and_serial_agree() {
+        let ds = toy_dataset();
+        let mut cfg = quick_config(2);
+        cfg.parallel = true;
+        let par = KGraph::new(cfg.clone()).fit(&ds);
+        cfg.parallel = false;
+        let ser = KGraph::new(cfg).fit(&ds);
+        assert_eq!(par.labels, ser.labels);
+        assert_eq!(par.best_layer, ser.best_layer);
+        for (a, b) in par.layers.iter().zip(&ser.layers) {
+            assert_eq!(a.labels, b.labels);
+            assert_eq!(a.graph.node_count(), b.graph.node_count());
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let ds = toy_dataset();
+        let a = KGraph::new(quick_config(2).with_seed(5)).fit(&ds);
+        let b = KGraph::new(quick_config(2).with_seed(5)).fit(&ds);
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.best_layer, b.best_layer);
+    }
+
+    #[test]
+    fn graphoids_from_model() {
+        let ds = toy_dataset();
+        let model = KGraph::new(quick_config(2)).fit(&ds);
+        let g0 = model.gamma_graphoid(0, 0.7);
+        let g1 = model.gamma_graphoid(1, 0.7);
+        assert!(!g0.nodes.is_empty(), "cluster 0 needs exclusive nodes");
+        assert!(!g1.nodes.is_empty(), "cluster 1 needs exclusive nodes");
+        // Exclusive node sets must be disjoint above 0.5.
+        let set0: std::collections::HashSet<_> = g0.nodes.iter().collect();
+        assert!(g1.nodes.iter().all(|n| !set0.contains(n)));
+        let all = model.all_gamma_graphoids(0.7);
+        assert_eq!(all.len(), 2);
+        let lam = model.lambda_graphoid(0, 0.5);
+        assert!(!lam.nodes.is_empty());
+    }
+
+    #[test]
+    fn scores_have_valid_ranges() {
+        let ds = toy_dataset();
+        let model = KGraph::new(quick_config(2)).fit(&ds);
+        for s in &model.scores {
+            assert!((0.0..=1.0).contains(&s.wc), "Wc {s:?}");
+            assert!((0.0..=1.0).contains(&s.we), "We {s:?}");
+        }
+        // Best layer attains the max product.
+        let best = model.scores[model.best_layer].product();
+        assert!(model.scores.iter().all(|s| best >= s.product() - 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_dataset_panics() {
+        let ds = Dataset::new("e", DatasetKind::Other, vec![]);
+        KGraph::with_k(2, 0).fit(&ds);
+    }
+
+    #[test]
+    fn single_length_configuration() {
+        let ds = toy_dataset();
+        let cfg = KGraphConfig { parallel: true, ..quick_config(2) }.with_lengths(vec![16]);
+        let model = KGraph::new(cfg).fit(&ds);
+        assert_eq!(model.layers.len(), 1);
+        assert_eq!(model.best_layer, 0);
+    }
+
+    #[test]
+    fn assign_path_reproduces_training_paths() {
+        let ds = toy_dataset();
+        let model = KGraph::new(quick_config(2)).fit(&ds);
+        let layer = model.best();
+        // Routing a *training* series through the stored embedding must
+        // reproduce the path computed at fit time exactly.
+        for (i, series) in ds.series().iter().enumerate().take(4) {
+            let path = layer.assign_path(series.values()).expect("long enough");
+            assert_eq!(path, layer.paths[i], "series {i} path mismatch");
+        }
+    }
+
+    #[test]
+    fn predict_matches_fit_labels_in_sample() {
+        let ds = toy_dataset();
+        let model = KGraph::new(quick_config(2)).fit(&ds);
+        let predicted = model.predict_dataset(&ds);
+        let agreement = adjusted_rand_index(&model.labels, &predicted);
+        assert!(agreement > 0.8, "in-sample predict ARI {agreement}");
+    }
+
+    #[test]
+    fn predict_generalises_to_new_series() {
+        let ds = toy_dataset();
+        let model = KGraph::new(quick_config(2)).fit(&ds);
+        // Unseen phase shifts of the same two generators.
+        for (label_gen, f) in [0.2f64, 0.9].into_iter().enumerate() {
+            let fresh: Vec<f64> = (0..80).map(|i| ((i + 17) as f64 * f).sin()).collect();
+            let pred = model.predict(&fresh).expect("long enough");
+            // Find the model's cluster for this generator from a training
+            // member and compare.
+            let train_idx = label_gen * 6; // 6 per class in toy_dataset
+            assert_eq!(
+                pred, model.labels[train_idx],
+                "generator {label_gen} predicted into the wrong cluster"
+            );
+        }
+    }
+
+    #[test]
+    fn predict_short_series_is_none() {
+        let ds = toy_dataset();
+        let model = KGraph::new(quick_config(2)).fit(&ds);
+        let tiny = vec![0.0; model.best_length() - 1];
+        assert_eq!(model.predict(&tiny), None);
+        // predict_dataset falls back to 0 for the same case.
+        let mini = Dataset::new(
+            "mini",
+            DatasetKind::Other,
+            vec![TimeSeries::new(tiny)],
+        );
+        assert_eq!(model.predict_dataset(&mini), vec![0]);
+    }
+}

@@ -1,0 +1,361 @@
+//! Arena-indexed directed graph.
+
+/// Opaque node identifier (index into the node arena).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// Opaque edge identifier (index into the edge arena).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EdgeId(pub u32);
+
+impl NodeId {
+    /// The id as a usize index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl EdgeId {
+    /// The id as a usize index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Debug, Clone)]
+struct NodeEntry<N> {
+    weight: N,
+    out_edges: Vec<EdgeId>,
+    in_edges: Vec<EdgeId>,
+}
+
+#[derive(Debug, Clone)]
+struct EdgeEntry<E> {
+    weight: E,
+    source: NodeId,
+    target: NodeId,
+}
+
+/// Directed graph `G = (N, E)` with node payloads `N` and edge payloads `E`.
+///
+/// Nodes and edges are never removed (the pipeline only builds graphs and
+/// then extracts *views*), which keeps ids stable and the arena dense.
+/// Parallel edges are allowed by the structure; [`DiGraph::edge_between`]
+/// lets builders deduplicate when they want weighted simple graphs.
+#[derive(Debug, Clone)]
+pub struct DiGraph<N, E> {
+    nodes: Vec<NodeEntry<N>>,
+    edges: Vec<EdgeEntry<E>>,
+}
+
+impl<N, E> Default for DiGraph<N, E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<N, E> DiGraph<N, E> {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        DiGraph { nodes: Vec::new(), edges: Vec::new() }
+    }
+
+    /// Creates an empty graph with pre-reserved capacity.
+    pub fn with_capacity(nodes: usize, edges: usize) -> Self {
+        DiGraph { nodes: Vec::with_capacity(nodes), edges: Vec::with_capacity(edges) }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds a node, returning its id.
+    pub fn add_node(&mut self, weight: N) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(NodeEntry { weight, out_edges: Vec::new(), in_edges: Vec::new() });
+        id
+    }
+
+    /// Adds a directed edge `source → target`, returning its id.
+    ///
+    /// Panics if either endpoint is not in the graph.
+    pub fn add_edge(&mut self, source: NodeId, target: NodeId, weight: E) -> EdgeId {
+        assert!(source.index() < self.nodes.len(), "source node out of range");
+        assert!(target.index() < self.nodes.len(), "target node out of range");
+        let id = EdgeId(self.edges.len() as u32);
+        self.edges.push(EdgeEntry { weight, source, target });
+        self.nodes[source.index()].out_edges.push(id);
+        self.nodes[target.index()].in_edges.push(id);
+        id
+    }
+
+    /// Node payload by id.
+    pub fn node(&self, id: NodeId) -> &N {
+        &self.nodes[id.index()].weight
+    }
+
+    /// Mutable node payload by id.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut N {
+        &mut self.nodes[id.index()].weight
+    }
+
+    /// Edge payload by id.
+    pub fn edge(&self, id: EdgeId) -> &E {
+        &self.edges[id.index()].weight
+    }
+
+    /// Mutable edge payload by id.
+    pub fn edge_mut(&mut self, id: EdgeId) -> &mut E {
+        &mut self.edges[id.index()].weight
+    }
+
+    /// Endpoints `(source, target)` of an edge.
+    pub fn endpoints(&self, id: EdgeId) -> (NodeId, NodeId) {
+        let e = &self.edges[id.index()];
+        (e.source, e.target)
+    }
+
+    /// First edge `source → target` if one exists (linear in out-degree).
+    pub fn edge_between(&self, source: NodeId, target: NodeId) -> Option<EdgeId> {
+        self.nodes[source.index()]
+            .out_edges
+            .iter()
+            .copied()
+            .find(|&e| self.edges[e.index()].target == target)
+    }
+
+    /// Ids of all nodes.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Ids of all edges.
+    pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        (0..self.edges.len() as u32).map(EdgeId)
+    }
+
+    /// Outgoing edges of a node.
+    pub fn out_edges(&self, id: NodeId) -> &[EdgeId] {
+        &self.nodes[id.index()].out_edges
+    }
+
+    /// Incoming edges of a node.
+    pub fn in_edges(&self, id: NodeId) -> &[EdgeId] {
+        &self.nodes[id.index()].in_edges
+    }
+
+    /// Out-degree.
+    pub fn out_degree(&self, id: NodeId) -> usize {
+        self.nodes[id.index()].out_edges.len()
+    }
+
+    /// In-degree.
+    pub fn in_degree(&self, id: NodeId) -> usize {
+        self.nodes[id.index()].in_edges.len()
+    }
+
+    /// Total degree (in + out).
+    pub fn degree(&self, id: NodeId) -> usize {
+        self.in_degree(id) + self.out_degree(id)
+    }
+
+    /// Successor nodes (targets of outgoing edges, may repeat).
+    pub fn successors(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes[id.index()]
+            .out_edges
+            .iter()
+            .map(move |&e| self.edges[e.index()].target)
+    }
+
+    /// Predecessor nodes (sources of incoming edges, may repeat).
+    pub fn predecessors(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes[id.index()]
+            .in_edges
+            .iter()
+            .map(move |&e| self.edges[e.index()].source)
+    }
+
+    /// Undirected neighbours (successors ∪ predecessors, may repeat).
+    pub fn neighbors_undirected(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.successors(id).chain(self.predecessors(id))
+    }
+
+    /// Iterator over `(id, payload)` for all nodes.
+    pub fn nodes_iter(&self) -> impl Iterator<Item = (NodeId, &N)> {
+        self.nodes.iter().enumerate().map(|(i, n)| (NodeId(i as u32), &n.weight))
+    }
+
+    /// Iterator over `(id, source, target, payload)` for all edges.
+    pub fn edges_iter(&self) -> impl Iterator<Item = (EdgeId, NodeId, NodeId, &E)> {
+        self.edges
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (EdgeId(i as u32), e.source, e.target, &e.weight))
+    }
+}
+
+impl<N: Clone, E: Clone> DiGraph<N, E> {
+    /// Extracts the sub-graph induced by the nodes that satisfy `keep`.
+    ///
+    /// Returns the new graph together with the mapping from old to new node
+    /// ids (`None` for dropped nodes). Edges survive iff both endpoints do.
+    pub fn filter_nodes(&self, mut keep: impl FnMut(NodeId, &N) -> bool) -> (Self, Vec<Option<NodeId>>) {
+        let mut mapping: Vec<Option<NodeId>> = vec![None; self.nodes.len()];
+        let mut out = DiGraph::with_capacity(self.nodes.len(), self.edges.len());
+        for (id, w) in self.nodes_iter() {
+            if keep(id, w) {
+                mapping[id.index()] = Some(out.add_node(w.clone()));
+            }
+        }
+        for e in &self.edges {
+            if let (Some(s), Some(t)) = (mapping[e.source.index()], mapping[e.target.index()]) {
+                out.add_edge(s, t, e.weight.clone());
+            }
+        }
+        (out, mapping)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> (DiGraph<&'static str, f64>, Vec<NodeId>) {
+        // a → b → d, a → c → d
+        let mut g = DiGraph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let c = g.add_node("c");
+        let d = g.add_node("d");
+        g.add_edge(a, b, 1.0);
+        g.add_edge(a, c, 2.0);
+        g.add_edge(b, d, 3.0);
+        g.add_edge(c, d, 4.0);
+        (g, vec![a, b, c, d])
+    }
+
+    #[test]
+    fn build_and_count() {
+        let (g, ids) = diamond();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(*g.node(ids[0]), "a");
+    }
+
+    #[test]
+    fn degrees_and_adjacency() {
+        let (g, ids) = diamond();
+        let (a, b, _c, d) = (ids[0], ids[1], ids[2], ids[3]);
+        assert_eq!(g.out_degree(a), 2);
+        assert_eq!(g.in_degree(a), 0);
+        assert_eq!(g.in_degree(d), 2);
+        assert_eq!(g.degree(b), 2);
+        let succ: Vec<_> = g.successors(a).collect();
+        assert_eq!(succ.len(), 2);
+        let pred: Vec<_> = g.predecessors(d).collect();
+        assert_eq!(pred.len(), 2);
+        let undirected: Vec<_> = g.neighbors_undirected(b).collect();
+        assert_eq!(undirected.len(), 2);
+    }
+
+    #[test]
+    fn edge_between_lookup() {
+        let (g, ids) = diamond();
+        let (a, b, _c, d) = (ids[0], ids[1], ids[2], ids[3]);
+        let e = g.edge_between(a, b).unwrap();
+        assert_eq!(*g.edge(e), 1.0);
+        assert_eq!(g.endpoints(e), (a, b));
+        assert!(g.edge_between(b, a).is_none());
+        assert!(g.edge_between(a, d).is_none());
+    }
+
+    #[test]
+    fn mutate_payloads() {
+        let (mut g, ids) = diamond();
+        *g.node_mut(ids[0]) = "alpha";
+        assert_eq!(*g.node(ids[0]), "alpha");
+        let e = g.edge_between(ids[0], ids[1]).unwrap();
+        *g.edge_mut(e) += 10.0;
+        assert_eq!(*g.edge(e), 11.0);
+    }
+
+    #[test]
+    fn iterators_cover_everything() {
+        let (g, _) = diamond();
+        assert_eq!(g.node_ids().count(), 4);
+        assert_eq!(g.edge_ids().count(), 4);
+        assert_eq!(g.nodes_iter().count(), 4);
+        let total_weight: f64 = g.edges_iter().map(|(_, _, _, w)| *w).sum();
+        assert_eq!(total_weight, 10.0);
+    }
+
+    #[test]
+    fn parallel_edges_allowed() {
+        let mut g: DiGraph<(), f64> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, 1.0);
+        g.add_edge(a, b, 2.0);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.out_degree(a), 2);
+        // edge_between returns the first one.
+        let e = g.edge_between(a, b).unwrap();
+        assert_eq!(*g.edge(e), 1.0);
+    }
+
+    #[test]
+    fn self_loops() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        g.add_edge(a, a, ());
+        assert_eq!(g.out_degree(a), 1);
+        assert_eq!(g.in_degree(a), 1);
+        assert_eq!(g.degree(a), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn dangling_edge_panics() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        g.add_edge(a, NodeId(5), ());
+    }
+
+    #[test]
+    fn filter_nodes_keeps_induced_edges() {
+        let (g, ids) = diamond();
+        // Drop node b; edges a→b and b→d must disappear.
+        let (sub, mapping) = g.filter_nodes(|id, _| id != ids[1]);
+        assert_eq!(sub.node_count(), 3);
+        assert_eq!(sub.edge_count(), 2);
+        assert!(mapping[ids[1].index()].is_none());
+        let new_a = mapping[ids[0].index()].unwrap();
+        assert_eq!(*sub.node(new_a), "a");
+    }
+
+    #[test]
+    fn filter_nodes_empty_result() {
+        let (g, _) = diamond();
+        let (sub, mapping) = g.filter_nodes(|_, _| false);
+        assert_eq!(sub.node_count(), 0);
+        assert_eq!(sub.edge_count(), 0);
+        assert!(mapping.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn default_and_capacity() {
+        let g: DiGraph<u8, u8> = DiGraph::default();
+        assert_eq!(g.node_count(), 0);
+        let g2: DiGraph<u8, u8> = DiGraph::with_capacity(10, 20);
+        assert_eq!(g2.node_count(), 0);
+        assert_eq!(g2.edge_count(), 0);
+    }
+}

@@ -1,0 +1,245 @@
+//! 2-D node layouts for graph rendering.
+//!
+//! The Graph frame draws the k-Graph embedding as a node-link diagram. Two
+//! layouts are provided: a deterministic circular layout (stable fallback)
+//! and Fruchterman–Reingold force-directed layout (readable at the 20–200
+//! node sizes the pipeline produces).
+
+use crate::digraph::DiGraph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A 2-D position per node, indexed by `NodeId::index()`.
+pub type Layout = Vec<(f64, f64)>;
+
+/// Places nodes evenly on a circle of radius `radius` centred at origin.
+///
+/// Order follows node ids, so the layout is deterministic and stable under
+/// re-rendering.
+pub fn circular<N, E>(g: &DiGraph<N, E>, radius: f64) -> Layout {
+    let n = g.node_count();
+    (0..n)
+        .map(|i| {
+            let theta = 2.0 * std::f64::consts::PI * i as f64 / n.max(1) as f64;
+            (radius * theta.cos(), radius * theta.sin())
+        })
+        .collect()
+}
+
+/// Options for the force-directed layout.
+#[derive(Debug, Clone, Copy)]
+pub struct ForceOptions {
+    /// Number of relaxation iterations.
+    pub iterations: usize,
+    /// Side length of the square drawing area.
+    pub area: f64,
+    /// RNG seed for the initial scatter (layout is deterministic given it).
+    pub seed: u64,
+}
+
+impl Default for ForceOptions {
+    fn default() -> Self {
+        ForceOptions { iterations: 150, area: 1000.0, seed: 42 }
+    }
+}
+
+/// Fruchterman–Reingold force-directed layout.
+///
+/// Repulsive forces act between every node pair, attractive forces along
+/// edges; displacement is capped by a linearly cooling temperature. Runs in
+/// O(iterations · n²), fine for the graph sizes of this system.
+pub fn force_directed<N, E>(g: &DiGraph<N, E>, opts: ForceOptions) -> Layout {
+    let n = g.node_count();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 {
+        return vec![(0.0, 0.0)];
+    }
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let side = opts.area;
+    let mut pos: Layout = (0..n)
+        .map(|_| (rng.gen_range(-side / 2.0..side / 2.0), rng.gen_range(-side / 2.0..side / 2.0)))
+        .collect();
+    // Ideal pairwise distance for the available area.
+    let k = (side * side / n as f64).sqrt();
+    let mut temperature = side / 10.0;
+    let cooling = temperature / (opts.iterations.max(1) as f64);
+
+    let edges: Vec<(usize, usize)> = g
+        .edges_iter()
+        .map(|(_, s, t, _)| (s.index(), t.index()))
+        .filter(|(s, t)| s != t)
+        .collect();
+
+    let mut disp = vec![(0.0f64, 0.0f64); n];
+    for _ in 0..opts.iterations {
+        disp.fill((0.0, 0.0));
+        // Repulsion: f_r(d) = k² / d.
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let dx = pos[i].0 - pos[j].0;
+                let dy = pos[i].1 - pos[j].1;
+                let dist = (dx * dx + dy * dy).sqrt().max(1e-6);
+                let force = k * k / dist;
+                let fx = dx / dist * force;
+                let fy = dy / dist * force;
+                disp[i].0 += fx;
+                disp[i].1 += fy;
+                disp[j].0 -= fx;
+                disp[j].1 -= fy;
+            }
+        }
+        // Attraction along edges: f_a(d) = d² / k.
+        for &(s, t) in &edges {
+            let dx = pos[s].0 - pos[t].0;
+            let dy = pos[s].1 - pos[t].1;
+            let dist = (dx * dx + dy * dy).sqrt().max(1e-6);
+            let force = dist * dist / k;
+            let fx = dx / dist * force;
+            let fy = dy / dist * force;
+            disp[s].0 -= fx;
+            disp[s].1 -= fy;
+            disp[t].0 += fx;
+            disp[t].1 += fy;
+        }
+        // Apply displacements, capped by temperature, clamped to the area.
+        for i in 0..n {
+            let (dx, dy) = disp[i];
+            let len = (dx * dx + dy * dy).sqrt().max(1e-6);
+            let step = len.min(temperature);
+            pos[i].0 = (pos[i].0 + dx / len * step).clamp(-side / 2.0, side / 2.0);
+            pos[i].1 = (pos[i].1 + dy / len * step).clamp(-side / 2.0, side / 2.0);
+        }
+        temperature = (temperature - cooling).max(1e-3);
+    }
+    pos
+}
+
+/// Rescales a layout to fit inside `[0, width] × [0, height]` with a margin.
+pub fn fit_to_viewport(layout: &Layout, width: f64, height: f64, margin: f64) -> Layout {
+    if layout.is_empty() {
+        return Vec::new();
+    }
+    let min_x = layout.iter().map(|p| p.0).fold(f64::INFINITY, f64::min);
+    let max_x = layout.iter().map(|p| p.0).fold(f64::NEG_INFINITY, f64::max);
+    let min_y = layout.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
+    let max_y = layout.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max);
+    let span_x = (max_x - min_x).max(1e-9);
+    let span_y = (max_y - min_y).max(1e-9);
+    let usable_w = (width - 2.0 * margin).max(1.0);
+    let usable_h = (height - 2.0 * margin).max(1.0);
+    layout
+        .iter()
+        .map(|&(x, y)| {
+            (
+                margin + (x - min_x) / span_x * usable_w,
+                margin + (y - min_y) / span_y * usable_h,
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digraph::DiGraph;
+
+    fn path_graph(n: usize) -> DiGraph<(), ()> {
+        let mut g = DiGraph::new();
+        let ids: Vec<_> = (0..n).map(|_| g.add_node(())).collect();
+        for w in ids.windows(2) {
+            g.add_edge(w[0], w[1], ());
+        }
+        g
+    }
+
+    #[test]
+    fn circular_on_unit_circle() {
+        let g = path_graph(4);
+        let pos = circular(&g, 10.0);
+        assert_eq!(pos.len(), 4);
+        for (x, y) in &pos {
+            assert!(((x * x + y * y).sqrt() - 10.0).abs() < 1e-9);
+        }
+        // Distinct positions.
+        assert!((pos[0].0 - pos[1].0).abs() + (pos[0].1 - pos[1].1).abs() > 1.0);
+    }
+
+    #[test]
+    fn force_layout_deterministic_given_seed() {
+        let g = path_graph(10);
+        let a = force_directed(&g, ForceOptions::default());
+        let b = force_directed(&g, ForceOptions::default());
+        assert_eq!(a, b);
+        let c = force_directed(&g, ForceOptions { seed: 7, ..ForceOptions::default() });
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn force_layout_separates_nodes() {
+        let g = path_graph(8);
+        let pos = force_directed(&g, ForceOptions::default());
+        for i in 0..pos.len() {
+            for j in (i + 1)..pos.len() {
+                let d = ((pos[i].0 - pos[j].0).powi(2) + (pos[i].1 - pos[j].1).powi(2)).sqrt();
+                assert!(d > 1.0, "nodes {i} and {j} overlap: {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn force_layout_pulls_neighbors_closer_than_strangers() {
+        // A path 0-1-2-...-9: endpoints should end up farther apart than
+        // adjacent pairs on average.
+        let g = path_graph(10);
+        let pos = force_directed(&g, ForceOptions { iterations: 400, ..Default::default() });
+        let d = |i: usize, j: usize| {
+            ((pos[i].0 - pos[j].0).powi(2) + (pos[i].1 - pos[j].1).powi(2)).sqrt()
+        };
+        let adjacent: f64 = (0..9).map(|i| d(i, i + 1)).sum::<f64>() / 9.0;
+        assert!(d(0, 9) > adjacent, "endpoints {:.1} vs adjacent {:.1}", d(0, 9), adjacent);
+    }
+
+    #[test]
+    fn degenerate_graphs() {
+        let empty: DiGraph<(), ()> = DiGraph::new();
+        assert!(force_directed(&empty, ForceOptions::default()).is_empty());
+        assert!(circular(&empty, 1.0).is_empty());
+
+        let mut single: DiGraph<(), ()> = DiGraph::new();
+        single.add_node(());
+        assert_eq!(force_directed(&single, ForceOptions::default()), vec![(0.0, 0.0)]);
+    }
+
+    #[test]
+    fn self_loops_do_not_explode() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, a, ());
+        g.add_edge(a, b, ());
+        let pos = force_directed(&g, ForceOptions::default());
+        assert!(pos.iter().all(|p| p.0.is_finite() && p.1.is_finite()));
+    }
+
+    #[test]
+    fn viewport_fitting() {
+        let layout = vec![(-5.0, -5.0), (5.0, 5.0), (0.0, 0.0)];
+        let fitted = fit_to_viewport(&layout, 100.0, 50.0, 10.0);
+        for (x, y) in &fitted {
+            assert!(*x >= 10.0 - 1e-9 && *x <= 90.0 + 1e-9);
+            assert!(*y >= 10.0 - 1e-9 && *y <= 40.0 + 1e-9);
+        }
+        assert_eq!(fitted[0], (10.0, 10.0));
+        assert_eq!(fitted[1], (90.0, 40.0));
+        assert!(fit_to_viewport(&Vec::new(), 10.0, 10.0, 1.0).is_empty());
+    }
+
+    #[test]
+    fn viewport_fitting_collinear_points() {
+        let layout = vec![(1.0, 3.0), (2.0, 3.0), (3.0, 3.0)];
+        let fitted = fit_to_viewport(&layout, 100.0, 100.0, 0.0);
+        assert!(fitted.iter().all(|p| p.0.is_finite() && p.1.is_finite()));
+    }
+}

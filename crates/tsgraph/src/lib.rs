@@ -1,0 +1,22 @@
+//! # tsgraph — directed weighted graphs for k-Graph
+//!
+//! A small, from-scratch graph arena tailored to what the k-Graph pipeline
+//! and the Graphint Graph frame need:
+//!
+//! * [`DiGraph`] — arena-indexed directed graph with node and edge payloads,
+//!   O(1) node/edge access by id, per-node adjacency lists, and edge lookup
+//!   between endpoints,
+//! * [`algo`] — weakly connected components, BFS traversal, reachability and
+//!   payload-predicate subgraph extraction (used for graphoid subgraphs),
+//! * [`layout`] — circular and Fruchterman–Reingold force-directed 2-D
+//!   layouts for rendering graphs in the Graph frame.
+//!
+//! This replaces `petgraph` (kept out deliberately; the dependency budget of
+//! the reproduction is limited to rand/proptest/criterion/crossbeam/
+//! parking_lot/bytes/serde and the required surface is tiny).
+
+pub mod algo;
+pub mod digraph;
+pub mod layout;
+
+pub use digraph::{DiGraph, EdgeId, NodeId};

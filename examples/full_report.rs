@@ -1,0 +1,63 @@
+//! Generates a single self-contained HTML page with all five Graphint
+//! frames for one dataset — the closest static equivalent of opening the
+//! demo at <https://graphit.streamlit.app> and walking every tab.
+//!
+//! ```sh
+//! cargo run --release --example full_report [-- <dataset-name>]
+//! ```
+
+use graphint_repro::prelude::*;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "CBF".to_string());
+    let dataset = graphint_repro::datasets::registry::by_name(&name)
+        .unwrap_or_else(|| panic!("unknown dataset {name}; see datasets::default_collection()"));
+    let k = dataset.n_classes();
+    println!("building the full Graphint report for {name} (k = {k})…");
+
+    let model = KGraph::with_k(k, 3).fit(&dataset);
+    let kmeans = ClusteringMethod::new(MethodKind::KMeansZnorm, k, 3).run(&dataset);
+    let kshape = ClusteringMethod::new(MethodKind::KShape, k, 3).run(&dataset);
+
+    let mut report = Report::new(format!("Graphint — {name}"));
+
+    // Frame 1.1: clustering comparison.
+    let comparison = ComparisonFrame::build(
+        &dataset,
+        &[
+            MethodPartition { name: "k-Graph".into(), labels: model.labels.clone() },
+            MethodPartition { name: "k-Means".into(), labels: kmeans },
+            MethodPartition { name: "k-Shape".into(), labels: kshape },
+        ],
+    );
+    report.section("Frame 1.1 — Clustering comparison");
+    report.add_pre(&comparison.summary());
+    for (_, svg) in &comparison.panels {
+        report.add_svg(svg);
+    }
+
+    // Frame 2: the graph.
+    let graph_frame = GraphFrame::with_auto_thresholds(&model);
+    report.section(format!(
+        "Frame 2 — k-Graph in action (λ = {:.2}, γ = {:.2})",
+        graph_frame.lambda, graph_frame.gamma
+    ));
+    report.add_svg(&graph_frame.render_graph());
+
+    // Frame 3: interpretability test (simulated users).
+    let quiz = QuizFrame::run(&dataset, QuizConfig { trials: 10, ..QuizConfig::new(k, 3) }, None);
+    report.section("Frame 3 — Interpretability test");
+    report.add_pre(&quiz.summary());
+
+    // Frame 4: under the hood.
+    let hood = UnderTheHoodFrame::new(&model);
+    report.section("Frame 4 — Under the hood");
+    report.add_pre(&hood.summary());
+    report.add_svg(&hood.render_length_selection());
+    report.add_svg(&hood.render_feature_matrix());
+    report.add_svg(&hood.render_consensus_matrix());
+
+    let path = std::path::PathBuf::from(format!("out/examples/full_report_{name}.html"));
+    report.write(&path).expect("write report");
+    println!("wrote {}", path.display());
+}

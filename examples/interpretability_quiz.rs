@@ -1,0 +1,62 @@
+//! Demo Scenario 1 — the interpretability test, either with simulated
+//! users (default) or interactively on your terminal (`--interactive`):
+//! five random series, guess the cluster k-Graph assigned them to, using
+//! only the per-cluster exclusive patterns.
+//!
+//! ```sh
+//! cargo run --release --example interpretability_quiz               # simulated
+//! cargo run --release --example interpretability_quiz -- --interactive
+//! ```
+
+use graphint_repro::graphint::ascii::sparkline;
+use graphint_repro::graphint::quiz::Quiz;
+use graphint_repro::prelude::*;
+use std::io::Write;
+
+fn main() {
+    let interactive = std::env::args().any(|a| a == "--interactive");
+    let dataset = graphint_repro::datasets::cbf::cbf(15, 128, 9);
+    let k = dataset.n_classes();
+
+    if !interactive {
+        // Simulated-user comparison, as in the demo's Scenario 1 wrap-up.
+        let cfg = QuizConfig::new(k, 9);
+        let frame = QuizFrame::run(&dataset, cfg, None);
+        println!("{}", frame.summary());
+        println!("(re-run with --interactive to take the quiz yourself)");
+        return;
+    }
+
+    // Interactive mode: the terminal stands in for the Streamlit frame.
+    let model = KGraph::with_k(k, 9).fit(&dataset);
+    let graphoids = model.all_gamma_graphoids(0.8);
+    println!("k-Graph clustered {} into {k} clusters.", dataset.name());
+    println!("Per-cluster exclusive patterns (what you get to look at):\n");
+    for (c, g) in graphoids.iter().enumerate() {
+        println!("cluster {c} — {} exclusive nodes; dominant patterns:", g.nodes.len());
+        for node in g.nodes.iter().take(3) {
+            let pattern = &model.best().graph.node(*node).pattern;
+            println!("    {}", sparkline(pattern));
+        }
+    }
+
+    let quiz = Quiz::generate(dataset.len(), 5, 99);
+    let mut correct = 0;
+    for (qn, &idx) in quiz.questions.iter().enumerate() {
+        println!("\nQuestion {}: which cluster does this series belong to?", qn + 1);
+        println!("    {}", sparkline(dataset.series()[idx].values()));
+        print!("your answer (0-{}): ", k - 1);
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        std::io::stdin().read_line(&mut line).ok();
+        let answer: usize = line.trim().parse().unwrap_or(0);
+        let truth = model.labels[idx];
+        if answer == truth {
+            println!("correct!");
+            correct += 1;
+        } else {
+            println!("k-Graph assigned it to cluster {truth}");
+        }
+    }
+    println!("\nyour score: {correct}/5");
+}

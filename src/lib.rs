@@ -1,0 +1,68 @@
+//! # graphint-repro — umbrella crate
+//!
+//! Re-exports the whole Graphint / k-Graph reproduction as one façade so
+//! examples and downstream users can depend on a single crate:
+//!
+//! ```
+//! use graphint_repro::prelude::*;
+//!
+//! let dataset = graphint_repro::datasets::cbf::cbf(5, 64, 0);
+//! let model = KGraph::with_k(3, 0).fit(&dataset);
+//! assert_eq!(model.labels.len(), dataset.len());
+//! ```
+//!
+//! Crate map (see `DESIGN.md` for the full inventory):
+//!
+//! * [`tscore`] — time series primitives and distances,
+//! * [`linalg`] — matrices, eigen, PCA, FFT, KDE,
+//! * [`tsgraph`] — directed graphs and layouts,
+//! * [`clustering`] — baseline algorithms + quality metrics,
+//! * [`datasets`] — synthetic UCR-like dataset generators,
+//! * [`kgraph`] — the k-Graph pipeline (the paper's core),
+//! * [`graphint`] — the five Graphint frames, quiz and report rendering.
+
+pub use clustering;
+pub use datasets;
+pub use graphint;
+pub use kgraph;
+pub use linalg;
+pub use tscore;
+pub use tsgraph;
+
+/// One-stop imports for examples and quick scripts.
+pub mod prelude {
+    pub use clustering::method::{ClusteringMethod, MethodKind};
+    pub use clustering::metrics::{
+        adjusted_mutual_information, adjusted_rand_index, normalized_mutual_information,
+        rand_index,
+    };
+    pub use graphint::frames::benchmark::{BenchmarkFrame, Filter, Measure};
+    pub use graphint::frames::comparison::{ComparisonFrame, MethodPartition};
+    pub use graphint::frames::graph::GraphFrame;
+    pub use graphint::frames::quiz_frame::{QuizConfig, QuizFrame};
+    pub use graphint::frames::under_the_hood::UnderTheHoodFrame;
+    pub use graphint::Report;
+    pub use kgraph::{KGraph, KGraphConfig, KGraphModel};
+    pub use tscore::{Dataset, DatasetKind, TimeSeries};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_compiles_and_runs() {
+        let ds = datasets::cbf::cbf(4, 48, 0);
+        let cfg = KGraphConfig {
+            n_lengths: 2,
+            psi: 8,
+            pca_sample: 200,
+            n_init: 2,
+            ..KGraphConfig::new(3)
+        };
+        let model = KGraph::new(cfg).fit(&ds);
+        assert_eq!(model.labels.len(), ds.len());
+        let ari = adjusted_rand_index(ds.labels().unwrap(), &model.labels);
+        assert!((-1.0..=1.0).contains(&ari));
+    }
+}

@@ -1,0 +1,105 @@
+//! Accuracy-side ablations of the design choices DESIGN.md calls out.
+//! (The cost side lives in `crates/bench/benches/bench_ablation.rs`.)
+
+use clustering::metrics::adjusted_rand_index;
+use graphint_repro::prelude::*;
+use kgraph::consensus::{consensus_labels, consensus_labels_kmeans, consensus_matrix};
+
+fn base_config(k: usize) -> KGraphConfig {
+    KGraphConfig {
+        n_lengths: 4,
+        psi: 16,
+        pca_sample: 600,
+        n_init: 3,
+        ..KGraphConfig::new(k).with_seed(17)
+    }
+}
+
+#[test]
+fn consensus_vs_best_single_length() {
+    // The consensus should be at least as good as the *median* single
+    // length — it exists to stabilise across lengths.
+    let ds = graphint_repro::datasets::cbf::cbf(10, 128, 17);
+    let truth = ds.labels().unwrap().to_vec();
+    let model = KGraph::new(base_config(3)).fit(&ds);
+    let consensus_ari = adjusted_rand_index(&truth, &model.labels);
+    let mut single: Vec<f64> = model
+        .layers
+        .iter()
+        .map(|l| adjusted_rand_index(&truth, &l.labels))
+        .collect();
+    single.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = single[single.len() / 2];
+    assert!(
+        consensus_ari >= median - 0.1,
+        "consensus {consensus_ari:.3} vs median single-length {median:.3} ({single:?})"
+    );
+}
+
+#[test]
+fn node_and_edge_features_vs_single_family() {
+    let ds = graphint_repro::datasets::shapes::trace_like(10, 120, 17);
+    let truth = ds.labels().unwrap().to_vec();
+    let both = KGraph::new(base_config(4)).fit(&ds);
+    let node_only = KGraph::new(KGraphConfig { edge_features: false, ..base_config(4) }).fit(&ds);
+    let edge_only = KGraph::new(KGraphConfig { node_features: false, ..base_config(4) }).fit(&ds);
+    let a_both = adjusted_rand_index(&truth, &both.labels);
+    let a_node = adjusted_rand_index(&truth, &node_only.labels);
+    let a_edge = adjusted_rand_index(&truth, &edge_only.labels);
+    // All three must work; the combined features must not be clearly the
+    // worst of the three (that would mean the families conflict).
+    assert!(a_both > 0.3, "both {a_both}");
+    assert!(a_node > 0.2, "node-only {a_node}");
+    assert!(a_edge > 0.2, "edge-only {a_edge}");
+    assert!(
+        a_both >= a_node.min(a_edge) - 0.1,
+        "combined {a_both:.3} vs node {a_node:.3} / edge {a_edge:.3}"
+    );
+}
+
+#[test]
+fn spectral_vs_kmeans_consensus() {
+    let ds = graphint_repro::datasets::cbf::cbf(8, 96, 18);
+    let truth = ds.labels().unwrap().to_vec();
+    let model = KGraph::new(base_config(3)).fit(&ds);
+    let partitions: Vec<Vec<usize>> = model.layers.iter().map(|l| l.labels.clone()).collect();
+    let mc = consensus_matrix(&partitions);
+    let spectral = consensus_labels(&mc, 3, 18);
+    let kmeans = consensus_labels_kmeans(&mc, 3, 18);
+    let a_spec = adjusted_rand_index(&truth, &spectral);
+    let a_km = adjusted_rand_index(&truth, &kmeans);
+    // Both consensus mechanisms must produce sane partitions.
+    assert!(a_spec > 0.3, "spectral consensus {a_spec}");
+    assert!(a_km > 0.1, "k-means consensus {a_km}");
+}
+
+#[test]
+fn psi_resolution_tradeoff() {
+    // Coarser radial resolution → fewer nodes; the graph must stay usable
+    // at ψ = 8 and gain nodes at ψ = 32.
+    let ds = graphint_repro::datasets::cbf::cbf(8, 96, 19);
+    let coarse = KGraph::new(KGraphConfig { psi: 8, ..base_config(3) }).fit(&ds);
+    let fine = KGraph::new(KGraphConfig { psi: 32, ..base_config(3) }).fit(&ds);
+    let nodes_coarse: usize = coarse.layers.iter().map(|l| l.graph.node_count()).sum();
+    let nodes_fine: usize = fine.layers.iter().map(|l| l.graph.node_count()).sum();
+    assert!(nodes_fine > nodes_coarse, "{nodes_fine} vs {nodes_coarse}");
+    let truth = ds.labels().unwrap().to_vec();
+    assert!(adjusted_rand_index(&truth, &coarse.labels) > 0.3);
+    assert!(adjusted_rand_index(&truth, &fine.labels) > 0.3);
+}
+
+#[test]
+fn stride_speed_quality_tradeoff() {
+    // Strided extraction (stride 2) must stay in the same accuracy
+    // neighbourhood as exhaustive extraction on an easy dataset.
+    let ds = graphint_repro::datasets::cbf::cbf(8, 96, 20);
+    let truth = ds.labels().unwrap().to_vec();
+    let exhaustive = KGraph::new(base_config(3)).fit(&ds);
+    let strided = KGraph::new(KGraphConfig { stride: 2, ..base_config(3) }).fit(&ds);
+    let a_full = adjusted_rand_index(&truth, &exhaustive.labels);
+    let a_strided = adjusted_rand_index(&truth, &strided.labels);
+    assert!(
+        a_strided >= a_full - 0.3,
+        "strided {a_strided:.3} collapsed vs exhaustive {a_full:.3}"
+    );
+}

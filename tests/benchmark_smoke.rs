@@ -1,0 +1,127 @@
+//! Smoke test of the E1 harness path: a quick benchmark run through the
+//! Benchmark frame, exercising records → filters → box plot → CSV.
+
+use bench_harness::*;
+
+// The `bench` crate is not a dependency of the umbrella crate (it is a
+// binary-oriented member); replicate its thin helpers here against the
+// public APIs so the integration surface stays covered.
+mod bench_harness {
+    pub use clustering::method::{ClusteringMethod, MethodKind};
+    pub use clustering::metrics::*;
+    pub use graphint::csvout::to_csv;
+    pub use graphint::frames::benchmark::*;
+    pub use kgraph::{KGraph, KGraphConfig};
+}
+
+fn record(ds: &tscore::Dataset, method: &str, labels: &[usize]) -> BenchmarkRecord {
+    let truth = ds.labels().unwrap();
+    BenchmarkRecord {
+        dataset: ds.name().to_string(),
+        kind: ds.kind(),
+        length: ds.min_len(),
+        n_series: ds.len(),
+        n_classes: ds.n_classes(),
+        method: method.to_string(),
+        ari: adjusted_rand_index(truth, labels),
+        ri: rand_index(truth, labels),
+        nmi: normalized_mutual_information(truth, labels),
+        ami: adjusted_mutual_information(truth, labels),
+    }
+}
+
+#[test]
+fn quick_benchmark_roundtrip() {
+    let specs = datasets::quick_collection();
+    let mut records = Vec::new();
+    for spec in &specs {
+        let ds = (spec.build)();
+        let k = ds.n_classes().max(2);
+        let cfg = KGraphConfig {
+            n_lengths: 2,
+            psi: 12,
+            pca_sample: 400,
+            n_init: 2,
+            ..KGraphConfig::new(k).with_seed(1)
+        };
+        let model = KGraph::new(cfg).fit(&ds);
+        records.push(record(&ds, "k-Graph", &model.labels));
+        for kind in [MethodKind::KMeansZnorm, MethodKind::AggloWard] {
+            let labels = ClusteringMethod::new(kind, k, 1).run(&ds);
+            records.push(record(&ds, kind.name(), &labels));
+        }
+    }
+    let frame = BenchmarkFrame::new(records);
+    assert_eq!(frame.methods().len(), 3);
+
+    // All four measures render and tabulate.
+    for measure in Measure::ALL {
+        let svg = frame.render_boxplot(measure, &Filter::default(), Some("k-Graph"));
+        assert!(svg.contains("Benchmark"));
+        let table = frame.summary_table(measure, &Filter::default());
+        assert!(table.contains("k-Graph"));
+    }
+
+    // Filters prune as expected.
+    let sim_only = Filter {
+        kinds: Some(vec![tscore::DatasetKind::Simulated]),
+        ..Default::default()
+    };
+    let all = frame.scores_by_method(Measure::Ari, &Filter::default());
+    let filtered = frame.scores_by_method(Measure::Ari, &sim_only);
+    assert!(filtered[0].1.len() <= all[0].1.len());
+
+    // CSV serialisation includes a row per record + header.
+    let rows: Vec<Vec<String>> = std::iter::once(vec!["method".to_string(), "ari".to_string()])
+        .chain(
+            frame
+                .records
+                .iter()
+                .map(|r| vec![r.method.clone(), format!("{:.3}", r.ari)]),
+        )
+        .collect();
+    let csv = to_csv(&rows);
+    assert_eq!(csv.lines().count(), frame.records.len() + 1);
+}
+
+#[test]
+fn kgraph_competitive_on_quick_collection() {
+    // The headline shape of E1: across the quick collection, k-Graph's
+    // mean ARI should land in the top half of the methods run here.
+    let specs = datasets::quick_collection();
+    let mut records = Vec::new();
+    for spec in &specs {
+        let ds = (spec.build)();
+        let k = ds.n_classes().max(2);
+        let cfg = KGraphConfig {
+            n_lengths: 3,
+            psi: 16,
+            pca_sample: 600,
+            n_init: 3,
+            ..KGraphConfig::new(k).with_seed(2)
+        };
+        let model = KGraph::new(cfg).fit(&ds);
+        records.push(record(&ds, "k-Graph", &model.labels));
+        for kind in [MethodKind::KMeansRaw, MethodKind::Gmm, MethodKind::Dbscan] {
+            let labels = ClusteringMethod::new(kind, k, 2).run(&ds);
+            records.push(record(&ds, kind.name(), &labels));
+        }
+    }
+    let frame = BenchmarkFrame::new(records);
+    let kg = frame
+        .mean_score("k-Graph", Measure::Ari, &Filter::default())
+        .unwrap();
+    let better = frame
+        .methods()
+        .iter()
+        .filter(|m| {
+            frame
+                .mean_score(m, Measure::Ari, &Filter::default())
+                .is_some_and(|s| s > kg + 1e-9)
+        })
+        .count();
+    assert!(
+        better <= 1,
+        "k-Graph mean ARI {kg:.3} beaten by {better} of 3 weak baselines"
+    );
+}

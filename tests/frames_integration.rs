@@ -1,0 +1,134 @@
+//! Integration: every Graphint frame built on top of one fitted model,
+//! assembled into the HTML report — the full Figure 2 path.
+
+use graphint_repro::prelude::*;
+
+fn fixture() -> (Dataset, KGraphModel) {
+    let ds = graphint_repro::datasets::cbf::cbf(8, 96, 3);
+    let cfg = KGraphConfig {
+        n_lengths: 3,
+        psi: 16,
+        pca_sample: 500,
+        n_init: 3,
+        ..KGraphConfig::new(3).with_seed(3)
+    };
+    let model = KGraph::new(cfg).fit(&ds);
+    (ds, model)
+}
+
+#[test]
+fn all_five_frames_render() {
+    let (ds, model) = fixture();
+
+    // 1.1 comparison
+    let kmeans = ClusteringMethod::new(MethodKind::KMeansZnorm, 3, 3).run(&ds);
+    let comparison = ComparisonFrame::build(
+        &ds,
+        &[
+            MethodPartition { name: "k-Graph".into(), labels: model.labels.clone() },
+            MethodPartition { name: "k-Means".into(), labels: kmeans.clone() },
+        ],
+    );
+    assert_eq!(comparison.panels.len(), 3);
+    assert!(comparison.summary().contains("k-Graph"));
+
+    // 1.2 benchmark (two records suffice for the frame logic)
+    let records = vec![
+        bench_record(&ds, "k-Graph", &model.labels),
+        bench_record(&ds, "k-Means", &kmeans),
+    ];
+    let benchmark = BenchmarkFrame::new(records);
+    let svg = benchmark.render_boxplot(Measure::Ari, &Filter::default(), Some("k-Graph"));
+    assert!(svg.contains("k-Graph"));
+
+    // 2 graph
+    let graph_frame = GraphFrame::with_auto_thresholds(&model);
+    assert!(graph_frame.render_graph().contains("svg"));
+    assert!(graph_frame.colored_nodes_per_cluster().iter().all(|&c| c >= 1));
+
+    // 3 quiz
+    let quiz = QuizFrame::run(
+        &ds,
+        QuizConfig { trials: 3, ..QuizConfig::new(3, 3) },
+        Some(KGraphConfig {
+            n_lengths: 2,
+            psi: 12,
+            pca_sample: 400,
+            n_init: 2,
+            ..KGraphConfig::new(3).with_seed(3)
+        }),
+    );
+    assert_eq!(quiz.scores.len(), 3);
+
+    // 4 under the hood
+    let hood = UnderTheHoodFrame::new(&model);
+    assert!(hood.render_length_selection().contains("Length selection"));
+    assert!(hood.render_feature_matrix().contains("Feature matrix"));
+    assert!(hood.render_consensus_matrix().contains("Consensus matrix"));
+
+    // Assemble the report.
+    let mut report = Report::new("integration");
+    report.section("comparison");
+    for (_, svg) in &comparison.panels {
+        report.add_svg(svg);
+    }
+    report.section("benchmark");
+    report.add_svg(&svg);
+    report.section("graph");
+    report.add_svg(&graph_frame.render_graph());
+    report.section("quiz");
+    report.add_pre(&quiz.summary());
+    report.section("under the hood");
+    report.add_svg(&hood.render_consensus_matrix());
+    let html = report.to_html();
+    assert!(html.contains("<h2>comparison</h2>"));
+    assert!(html.matches("<svg").count() >= 6);
+}
+
+fn bench_record(ds: &Dataset, method: &str, labels: &[usize]) -> graphint_repro::graphint::frames::benchmark::BenchmarkRecord {
+    let truth = ds.labels().unwrap();
+    graphint_repro::graphint::frames::benchmark::BenchmarkRecord {
+        dataset: ds.name().to_string(),
+        kind: ds.kind(),
+        length: ds.min_len(),
+        n_series: ds.len(),
+        n_classes: ds.n_classes(),
+        method: method.to_string(),
+        ari: adjusted_rand_index(truth, labels),
+        ri: rand_index(truth, labels),
+        nmi: normalized_mutual_information(truth, labels),
+        ami: adjusted_mutual_information(truth, labels),
+    }
+}
+
+#[test]
+fn graph_frame_highlights_are_within_series() {
+    let (ds, model) = fixture();
+    let frame = GraphFrame::new(&model, 0.3, 0.5);
+    let node = model.best().paths[0][0].index();
+    for (start, len) in frame.node_windows(0, node) {
+        assert!(start + len <= ds.series()[0].len());
+        assert_eq!(len, model.best_length());
+    }
+    let svg = frame.render_highlighted_series(0, node, &ds);
+    assert!(svg.contains("polyline"));
+}
+
+#[test]
+fn quiz_scores_bounded_and_reproducible() {
+    let (ds, _) = fixture();
+    let cfg = QuizConfig { trials: 4, ..QuizConfig::new(3, 5) };
+    let kg_cfg = KGraphConfig {
+        n_lengths: 2,
+        psi: 12,
+        pca_sample: 400,
+        n_init: 2,
+        ..KGraphConfig::new(3).with_seed(5)
+    };
+    let a = QuizFrame::run(&ds, cfg, Some(kg_cfg.clone()));
+    let b = QuizFrame::run(&ds, cfg, Some(kg_cfg));
+    for (x, y) in a.scores.iter().zip(&b.scores) {
+        assert_eq!(x.fractions, y.fractions);
+        assert!(x.fractions.iter().all(|f| (0.0..=1.0).contains(f)));
+    }
+}
