@@ -28,7 +28,11 @@ fn bench_ablation(c: &mut Criterion) {
             b.iter(|| kg.fit(black_box(&dataset)))
         });
     }
-    for (name, nf, ef) in [("node+edge", true, true), ("node_only", true, false), ("edge_only", false, true)] {
+    for (name, nf, ef) in [
+        ("node+edge", true, true),
+        ("node_only", true, false),
+        ("edge_only", false, true),
+    ] {
         group.bench_with_input(BenchmarkId::new("features", name), &name, |b, _| {
             let kg = KGraph::new(config(16, nf, ef));
             b.iter(|| kg.fit(black_box(&dataset)))

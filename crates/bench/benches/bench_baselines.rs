@@ -23,10 +23,14 @@ fn bench_baselines(c: &mut Criterion) {
         MethodKind::FeatTs,
         MethodKind::Kdba,
     ] {
-        group.bench_with_input(BenchmarkId::new("baseline", kind.name()), &kind, |b, &kind| {
-            let m = ClusteringMethod::new(kind, k, 0);
-            b.iter(|| m.run(black_box(&dataset)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("baseline", kind.name()),
+            &kind,
+            |b, &kind| {
+                let m = ClusteringMethod::new(kind, k, 0);
+                b.iter(|| m.run(black_box(&dataset)))
+            },
+        );
     }
     group.finish();
 }

@@ -24,7 +24,9 @@ fn bench_distances(c: &mut Criterion) {
             bencher.iter(|| clustering::kshape::sbd_fft(black_box(&a), black_box(&b)))
         });
         group.bench_with_input(BenchmarkId::new("dtw_banded", len), &len, |bencher, _| {
-            let opts = tscore::dtw::DtwOptions { window: Some(len / 10) };
+            let opts = tscore::dtw::DtwOptions {
+                window: Some(len / 10),
+            };
             bencher.iter(|| tscore::dtw::dtw(black_box(&a), black_box(&b), opts).unwrap())
         });
         group.bench_with_input(BenchmarkId::new("dtw_full", len), &len, |bencher, _| {

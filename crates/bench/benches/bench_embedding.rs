@@ -20,9 +20,11 @@ fn bench_embedding(c: &mut Criterion) {
     }
     // Stride ablation: how much does strided extraction save?
     for stride in [1usize, 2, 4] {
-        group.bench_with_input(BenchmarkId::new("project_stride", stride), &stride, |b, &s| {
-            b.iter(|| project_subsequences(black_box(&dataset), 32, s, 1000))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("project_stride", stride),
+            &stride,
+            |b, &s| b.iter(|| project_subsequences(black_box(&dataset), 32, s, 1000)),
+        );
     }
     group.finish();
 }

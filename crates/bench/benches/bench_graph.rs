@@ -1,0 +1,159 @@
+//! Graph-core benches: CSR builder vs. the old DiGraph probing path.
+//!
+//! The workload mirrors what `build_graph_with_stride` produces at scale —
+//! a transition stream over a ≥10k-node vocabulary with a skewed (hub-
+//! heavy) degree distribution, the regime where the old per-edge
+//! `edge_between` probe (O(deg) scan per transition) collapses and the
+//! sort+aggregate builder stays linear. Three comparisons:
+//!
+//! * `build/*` — constructing the weighted graph from the raw stream,
+//! * `lookup/*` — point edge lookups (linear scan vs. binary search),
+//! * `pagerank/*` — traversal (arena indirection vs. contiguous slices).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use tsgraph::algo;
+use tsgraph::{CsrGraph, DiGraph, GraphBuilder, NodeId};
+
+const NODES: usize = 12_000;
+const TRANSITIONS: usize = 400_000;
+
+/// Deterministic skewed transition stream: hubs (low ids) are visited
+/// often, like dense pattern nodes in a k-Graph layer.
+fn transition_stream(nodes: usize, transitions: usize) -> Vec<(u32, u32)> {
+    let mut s = 0x9e3779b97f4a7c15u64;
+    let mut next = move || {
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        s
+    };
+    let mut out = Vec::with_capacity(transitions);
+    let mut cur = 0u32;
+    for _ in 0..transitions {
+        let r = next();
+        // ~1/3 of steps jump to a hub (first 0.5%), the rest take a wide
+        // local step — hubs end up with out-degrees in the hundreds, the
+        // regime where per-transition adjacency scans collapse.
+        let dst = if r % 3 == 0 {
+            (next() % (nodes as u64 / 200).max(1)) as u32
+        } else {
+            ((cur as u64 + 1 + next() % 512) % nodes as u64) as u32
+        };
+        if dst != cur {
+            out.push((cur, dst));
+        }
+        cur = dst;
+    }
+    out
+}
+
+/// The pre-refactor construction path: probe `edge_between` per
+/// transition, bump the weight or insert a fresh edge.
+fn build_digraph_probing(nodes: usize, stream: &[(u32, u32)]) -> DiGraph<(), f64> {
+    let mut g: DiGraph<(), f64> = DiGraph::with_capacity(nodes, stream.len() / 8);
+    for _ in 0..nodes {
+        g.add_node(());
+    }
+    for &(s, t) in stream {
+        let (a, b) = (NodeId(s), NodeId(t));
+        match g.edge_between(a, b) {
+            Some(e) => *g.edge_mut(e) += 1.0,
+            None => {
+                g.add_edge(a, b, 1.0);
+            }
+        }
+    }
+    g
+}
+
+/// The post-refactor path: emit triples, sort + aggregate.
+fn build_csr(nodes: usize, stream: &[(u32, u32)]) -> CsrGraph<(), f64> {
+    let mut b = GraphBuilder::with_capacity(stream.len());
+    for &(s, t) in stream {
+        b.add_edge(NodeId(s), NodeId(t), 1.0);
+    }
+    b.build(vec![(); nodes], |acc, w| *acc += w)
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("build");
+    group.sample_size(10);
+    let stream = transition_stream(NODES, TRANSITIONS);
+    group.bench_with_input(
+        BenchmarkId::new("digraph_probing", TRANSITIONS),
+        &stream,
+        |b, stream| b.iter(|| build_digraph_probing(NODES, black_box(stream))),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("csr_builder", TRANSITIONS),
+        &stream,
+        |b, stream| b.iter(|| build_csr(NODES, black_box(stream))),
+    );
+    group.finish();
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lookup");
+    group.sample_size(20);
+    let stream = transition_stream(NODES, TRANSITIONS);
+    let di = build_digraph_probing(NODES, &stream);
+    let csr = build_csr(NODES, &stream);
+    // Query the observed transitions (mostly hits) — the feature-matrix
+    // and graphoid access pattern.
+    let queries: Vec<(NodeId, NodeId)> = stream
+        .iter()
+        .step_by(16)
+        .map(|&(s, t)| (NodeId(s), NodeId(t)))
+        .collect();
+    group.bench_with_input(
+        BenchmarkId::new("digraph_edge_between", queries.len()),
+        &queries,
+        |b, queries| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for &(s, t) in queries.iter() {
+                    hits += di.edge_between(s, t).is_some() as usize;
+                }
+                black_box(hits)
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("csr_edge_id", queries.len()),
+        &queries,
+        |b, queries| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for &(s, t) in queries.iter() {
+                    hits += csr.edge_id(s, t).is_some() as usize;
+                }
+                black_box(hits)
+            })
+        },
+    );
+    group.finish();
+}
+
+fn bench_pagerank(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pagerank");
+    group.sample_size(10);
+    let stream = transition_stream(NODES, TRANSITIONS);
+    let di = build_digraph_probing(NODES, &stream);
+    let csr = build_csr(NODES, &stream);
+    group.bench_with_input(
+        BenchmarkId::new("digraph_reference", NODES),
+        &di,
+        |b, di| b.iter(|| algo::reference::pagerank(black_box(di), 0.85, 20, |&w| w)),
+    );
+    group.bench_with_input(BenchmarkId::new("csr_native", NODES), &csr, |b, csr| {
+        b.iter(|| algo::pagerank(black_box(csr), 0.85, 20, |&w| w))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_build, bench_lookup, bench_pagerank
+}
+criterion_main!(benches);

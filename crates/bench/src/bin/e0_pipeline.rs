@@ -45,7 +45,10 @@ fn main() {
             ]
         })
         .collect();
-    println!("{}", render_table(&["length ℓ", "|N|", "|E|", "path len"], &rows));
+    println!(
+        "{}",
+        render_table(&["length ℓ", "|N|", "|E|", "path len"], &rows)
+    );
 
     // (c) Per-length partitions.
     println!("(c) graph clustering — partition L_ℓ per length:");
@@ -56,11 +59,17 @@ fn main() {
             vec![
                 l.length.to_string(),
                 partition_summary(&l.labels),
-                format!("{:.3}", adjusted_rand_index(dataset.labels().unwrap(), &l.labels)),
+                format!(
+                    "{:.3}",
+                    adjusted_rand_index(dataset.labels().unwrap(), &l.labels)
+                ),
             ]
         })
         .collect();
-    println!("{}", render_table(&["length ℓ", "partition", "ARI vs truth"], &rows));
+    println!(
+        "{}",
+        render_table(&["length ℓ", "partition", "ARI vs truth"], &rows)
+    );
 
     // (d) Consensus.
     let mc = &model.consensus;

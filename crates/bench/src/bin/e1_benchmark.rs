@@ -52,16 +52,46 @@ fn main() {
     let filters: Vec<(&str, Filter)> = vec![
         (
             "type = simulated",
-            Filter { kinds: Some(vec![DatasetKind::Simulated]), ..Default::default() },
+            Filter {
+                kinds: Some(vec![DatasetKind::Simulated]),
+                ..Default::default()
+            },
         ),
         (
             "type = sensor",
-            Filter { kinds: Some(vec![DatasetKind::Sensor]), ..Default::default() },
+            Filter {
+                kinds: Some(vec![DatasetKind::Sensor]),
+                ..Default::default()
+            },
         ),
-        ("length <= 128", Filter { length: Some((0, 128)), ..Default::default() }),
-        ("length > 128", Filter { length: Some((129, usize::MAX)), ..Default::default() }),
-        ("2 classes", Filter { classes: Some((2, 2)), ..Default::default() }),
-        ("3+ classes", Filter { classes: Some((3, usize::MAX)), ..Default::default() }),
+        (
+            "length <= 128",
+            Filter {
+                length: Some((0, 128)),
+                ..Default::default()
+            },
+        ),
+        (
+            "length > 128",
+            Filter {
+                length: Some((129, usize::MAX)),
+                ..Default::default()
+            },
+        ),
+        (
+            "2 classes",
+            Filter {
+                classes: Some((2, 2)),
+                ..Default::default()
+            },
+        ),
+        (
+            "3+ classes",
+            Filter {
+                classes: Some((3, usize::MAX)),
+                ..Default::default()
+            },
+        ),
     ];
     report.section("Filtered views (ARI)");
     for (name, filter) in &filters {
@@ -86,13 +116,19 @@ fn main() {
     rows.sort();
     write_csv(
         &out.join("timings.csv"),
-        &std::iter::once(vec!["method".to_string(), "dataset".to_string(), "seconds".to_string()])
-            .chain(rows)
-            .collect::<Vec<_>>(),
+        &std::iter::once(vec![
+            "method".to_string(),
+            "dataset".to_string(),
+            "seconds".to_string(),
+        ])
+        .chain(rows)
+        .collect::<Vec<_>>(),
     )
     .expect("write timings");
 
-    report.write(&out.join("benchmark.html")).expect("write report");
+    report
+        .write(&out.join("benchmark.html"))
+        .expect("write report");
     println!("wrote {}", out.join("benchmark.html").display());
 
     // Headline check: mean ARI rank of k-Graph.

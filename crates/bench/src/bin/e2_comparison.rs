@@ -39,9 +39,18 @@ fn main() {
         let frame = ComparisonFrame::build(
             &dataset,
             &[
-                MethodPartition { name: "k-Graph".into(), labels: model.labels.clone() },
-                MethodPartition { name: "k-Means".into(), labels: kmeans },
-                MethodPartition { name: "k-Shape".into(), labels: kshape },
+                MethodPartition {
+                    name: "k-Graph".into(),
+                    labels: model.labels.clone(),
+                },
+                MethodPartition {
+                    name: "k-Means".into(),
+                    labels: kmeans,
+                },
+                MethodPartition {
+                    name: "k-Shape".into(),
+                    labels: kshape,
+                },
             ],
         );
         println!("{}", frame.summary());
@@ -57,6 +66,8 @@ fn main() {
             report.add_svg(svg);
         }
     }
-    report.write(&out.join("comparison.html")).expect("write report");
+    report
+        .write(&out.join("comparison.html"))
+        .expect("write report");
     println!("wrote {}", out.join("comparison.html").display());
 }

@@ -74,8 +74,11 @@ fn main() {
             detail.exclusivity[c], detail.representativity[c], detail.count
         );
         let detail_svg = frame.render_node_detail(best_node);
-        std::fs::write(out.join(format!("node_{best_node}_detail.svg")), &detail_svg)
-            .expect("write SVG");
+        std::fs::write(
+            out.join(format!("node_{best_node}_detail.svg")),
+            &detail_svg,
+        )
+        .expect("write SVG");
         report.add_text(&format!(
             "Cluster {c}: node {best_node} — exclusivity {:.2}, representativity {:.2}",
             detail.exclusivity[c], detail.representativity[c]
@@ -93,6 +96,8 @@ fn main() {
             report.add_svg(&hl);
         }
     }
-    report.write(&out.join("graph_frame.html")).expect("write report");
+    report
+        .write(&out.join("graph_frame.html"))
+        .expect("write report");
     println!("\nwrote {}", out.join("graph_frame.html").display());
 }

@@ -41,7 +41,10 @@ fn main() {
         let dataset = (spec.build)();
         let k = dataset.n_classes().max(2);
         println!("== {} ==", spec.name);
-        let cfg = QuizConfig { trials, ..QuizConfig::new(k, 13) };
+        let cfg = QuizConfig {
+            trials,
+            ..QuizConfig::new(k, 13)
+        };
         let frame = QuizFrame::run(&dataset, cfg, Some(experiment_kgraph_config(k, 13)));
         println!("{}", frame.summary());
         report.section(format!("Dataset: {}", spec.name));

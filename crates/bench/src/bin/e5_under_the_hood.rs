@@ -39,16 +39,27 @@ fn main() {
         let ls = frame.render_length_selection();
         let fm = frame.render_feature_matrix();
         let cm = frame.render_consensus_matrix();
-        std::fs::write(out.join(format!("{}_length_selection.svg", dataset.name())), &ls)
-            .expect("write SVG");
-        std::fs::write(out.join(format!("{}_feature_matrix.svg", dataset.name())), &fm)
-            .expect("write SVG");
-        std::fs::write(out.join(format!("{}_consensus_matrix.svg", dataset.name())), &cm)
-            .expect("write SVG");
+        std::fs::write(
+            out.join(format!("{}_length_selection.svg", dataset.name())),
+            &ls,
+        )
+        .expect("write SVG");
+        std::fs::write(
+            out.join(format!("{}_feature_matrix.svg", dataset.name())),
+            &fm,
+        )
+        .expect("write SVG");
+        std::fs::write(
+            out.join(format!("{}_consensus_matrix.svg", dataset.name())),
+            &cm,
+        )
+        .expect("write SVG");
         report.add_svg(&ls);
         report.add_svg(&fm);
         report.add_svg(&cm);
     }
-    report.write(&out.join("under_the_hood.html")).expect("write report");
+    report
+        .write(&out.join("under_the_hood.html"))
+        .expect("write report");
     println!("wrote {}", out.join("under_the_hood.html").display());
 }

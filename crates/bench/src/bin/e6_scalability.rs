@@ -26,8 +26,16 @@ fn time_fit(per_class: usize, length: usize, seed: u64) -> f64 {
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let sizes: Vec<usize> = if quick { vec![5, 10] } else { vec![5, 10, 20, 40] };
-    let lengths: Vec<usize> = if quick { vec![64, 96] } else { vec![64, 128, 192, 256] };
+    let sizes: Vec<usize> = if quick {
+        vec![5, 10]
+    } else {
+        vec![5, 10, 20, 40]
+    };
+    let lengths: Vec<usize> = if quick {
+        vec![64, 96]
+    } else {
+        vec![64, 128, 192, 256]
+    };
 
     println!("E6: scalability sweeps on CBF\n");
     let mut size_rows = Vec::new();

@@ -66,7 +66,10 @@ impl Agglomerative {
         if n == 0 {
             return Vec::new();
         }
-        assert!(dist.iter().all(|r| r.len() == n), "distance matrix must be square");
+        assert!(
+            dist.iter().all(|r| r.len() == n),
+            "distance matrix must be square"
+        );
         self.fit_precomputed_internal(dist.to_vec(), n)
     }
 
@@ -111,14 +114,10 @@ impl Agglomerative {
                 let new_d = match self.linkage {
                     Linkage::Single => dac.min(dbc),
                     Linkage::Complete => dac.max(dbc),
-                    Linkage::Average => {
-                        (size[a] * dac + size[b] * dbc) / (size[a] + size[b])
-                    }
+                    Linkage::Average => (size[a] * dac + size[b] * dbc) / (size[a] + size[b]),
                     Linkage::Ward => {
                         let s = size[a] + size[b] + size[c];
-                        ((size[a] + size[c]) * dac + (size[b] + size[c]) * dbc
-                            - size[c] * dab)
-                            / s
+                        ((size[a] + size[c]) * dac + (size[b] + size[c]) * dbc - size[c] * dab) / s
                     }
                 };
                 dist[a][c] = new_d;
@@ -166,7 +165,12 @@ mod tests {
     #[test]
     fn all_linkages_recover_blobs() {
         let (rows, truth) = blobs();
-        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average, Linkage::Ward] {
+        for linkage in [
+            Linkage::Single,
+            Linkage::Complete,
+            Linkage::Average,
+            Linkage::Ward,
+        ] {
             let labels = Agglomerative::new(2, linkage).fit(&rows);
             let ari = adjusted_rand_index(&truth, &labels);
             assert!((ari - 1.0).abs() < 1e-12, "{linkage:?} ARI {ari}");

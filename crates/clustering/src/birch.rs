@@ -17,7 +17,11 @@ struct Cf {
 
 impl Cf {
     fn from_point(p: &[f64]) -> Self {
-        Cf { n: 1.0, ls: p.to_vec(), ss: p.iter().map(|x| x * x).sum() }
+        Cf {
+            n: 1.0,
+            ls: p.to_vec(),
+            ss: p.iter().map(|x| x * x).sum(),
+        }
     }
 
     fn centroid(&self) -> Vec<f64> {
@@ -64,7 +68,12 @@ pub struct Birch {
 impl Birch {
     /// Creates a configuration with `threshold = 0.5`, `max_leaves = 64`.
     pub fn new(k: usize, seed: u64) -> Self {
-        Birch { k, threshold: 0.5, max_leaves: 64, seed }
+        Birch {
+            k,
+            threshold: 0.5,
+            max_leaves: 64,
+            seed,
+        }
     }
 
     /// Fits BIRCH and returns per-point labels.
@@ -155,7 +164,11 @@ mod tests {
     #[test]
     fn tight_threshold_still_works() {
         let (rows, truth) = blobs();
-        let labels = Birch { threshold: 0.01, ..Birch::new(2, 0) }.fit(&rows);
+        let labels = Birch {
+            threshold: 0.01,
+            ..Birch::new(2, 0)
+        }
+        .fit(&rows);
         assert!((adjusted_rand_index(&truth, &labels) - 1.0).abs() < 1e-12);
     }
 
@@ -163,9 +176,17 @@ mod tests {
     fn leaf_cap_triggers_threshold_growth() {
         // 50 distinct points with max_leaves = 4 forces rebuilds.
         let rows: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64]).collect();
-        let labels = Birch { max_leaves: 4, threshold: 0.1, ..Birch::new(2, 0) }.fit(&rows);
+        let labels = Birch {
+            max_leaves: 4,
+            threshold: 0.1,
+            ..Birch::new(2, 0)
+        }
+        .fit(&rows);
         assert_eq!(labels.len(), 50);
-        let k = labels.iter().collect::<std::collections::HashSet<_>>().len();
+        let k = labels
+            .iter()
+            .collect::<std::collections::HashSet<_>>()
+            .len();
         assert!(k <= 2);
     }
 
@@ -173,7 +194,11 @@ mod tests {
     fn k_bounded_by_leaf_count() {
         // Ask for more clusters than leaves can support.
         let rows = vec![vec![0.0], vec![0.01], vec![100.0], vec![100.01]];
-        let labels = Birch { threshold: 1.0, ..Birch::new(10, 0) }.fit(&rows);
+        let labels = Birch {
+            threshold: 1.0,
+            ..Birch::new(10, 0)
+        }
+        .fit(&rows);
         assert_eq!(labels.len(), 4);
         assert_eq!(labels[0], labels[1]);
         assert_eq!(labels[2], labels[3]);
@@ -188,7 +213,9 @@ mod tests {
         assert_eq!(cf.centroid(), vec![2.0, 3.0]);
         // Radius after absorbing an identical centroid point stays small.
         let same = Cf::from_point(&[2.0, 3.0]);
-        assert!(cf.radius_after_merge(&same) <= cf.radius_after_merge(&Cf::from_point(&[9.0, 9.0])));
+        assert!(
+            cf.radius_after_merge(&same) <= cf.radius_after_merge(&Cf::from_point(&[9.0, 9.0]))
+        );
     }
 
     #[test]

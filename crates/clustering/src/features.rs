@@ -162,7 +162,11 @@ pub fn select_features(features: &[Vec<f64>], keep: usize, max_corr: f64) -> Vec
             (s * s + 1.0) / k.max(1e-9)
         })
         .collect();
-    order.sort_by(|&a, &b| bimodality[b].partial_cmp(&bimodality[a]).expect("NaN score"));
+    order.sort_by(|&a, &b| {
+        bimodality[b]
+            .partial_cmp(&bimodality[a])
+            .expect("NaN score")
+    });
     // b ≥ 0.555… is the uniform-distribution baseline: anything below it is
     // effectively unimodal noise and would only blur the cluster structure.
     const BIMODALITY_FLOOR: f64 = 5.0 / 9.0;
@@ -214,7 +218,11 @@ pub struct FeatTsLike {
 impl FeatTsLike {
     /// Creates a configuration keeping up to 8 features.
     pub fn new(k: usize, seed: u64) -> Self {
-        FeatTsLike { k, max_features: 8, seed }
+        FeatTsLike {
+            k,
+            max_features: 8,
+            seed,
+        }
     }
 
     /// Runs: base features → z-score → select → k-Means.
@@ -245,7 +253,11 @@ pub struct Time2FeatLike {
 impl Time2FeatLike {
     /// Creates a configuration keeping up to 12 features.
     pub fn new(k: usize, seed: u64) -> Self {
-        Time2FeatLike { k, max_features: 12, seed }
+        Time2FeatLike {
+            k,
+            max_features: 12,
+            seed,
+        }
     }
 
     /// Runs: base + spectral features → z-score → select → k-Means.
@@ -295,8 +307,16 @@ mod tests {
         let fast: Vec<f64> = (0..128).map(|i| (i as f64 * 1.5).sin()).collect();
         let fs = extract_spectral_features(&slow);
         let ff = extract_spectral_features(&fast);
-        assert!(ff[2] > fs[2], "dominant frequency should be higher: {} vs {}", ff[2], fs[2]);
-        assert!(fs[4] > ff[4], "low-band ratio should favour the slow signal");
+        assert!(
+            ff[2] > fs[2],
+            "dominant frequency should be higher: {} vs {}",
+            ff[2],
+            fs[2]
+        );
+        assert!(
+            fs[4] > ff[4],
+            "low-band ratio should favour the slow signal"
+        );
     }
 
     #[test]
@@ -399,7 +419,13 @@ mod tests {
     #[test]
     fn pipelines_deterministic() {
         let (rows, _) = noisy_vs_trending();
-        assert_eq!(FeatTsLike::new(2, 4).fit(&rows), FeatTsLike::new(2, 4).fit(&rows));
-        assert_eq!(Time2FeatLike::new(2, 4).fit(&rows), Time2FeatLike::new(2, 4).fit(&rows));
+        assert_eq!(
+            FeatTsLike::new(2, 4).fit(&rows),
+            FeatTsLike::new(2, 4).fit(&rows)
+        );
+        assert_eq!(
+            Time2FeatLike::new(2, 4).fit(&rows),
+            Time2FeatLike::new(2, 4).fit(&rows)
+        );
     }
 }

@@ -26,7 +26,13 @@ pub struct Gmm {
 impl Gmm {
     /// Creates a configuration with standard defaults.
     pub fn new(k: usize, seed: u64) -> Self {
-        Gmm { k, max_iter: 100, tol: 1e-6, reg_covar: 1e-6, seed }
+        Gmm {
+            k,
+            max_iter: 100,
+            tol: 1e-6,
+            reg_covar: 1e-6,
+            seed,
+        }
     }
 
     /// Fits the mixture and returns hard assignments (argmax responsibility).
@@ -126,7 +132,13 @@ impl Gmm {
                     .unwrap_or(0)
             })
             .collect();
-        GmmResult { labels, means, variances, weights, log_likelihood }
+        GmmResult {
+            labels,
+            means,
+            variances,
+            weights,
+            log_likelihood,
+        }
     }
 }
 
@@ -184,8 +196,16 @@ mod tests {
     #[test]
     fn log_likelihood_improves_over_iterations() {
         let (rows, _) = blobs();
-        let one_iter = Gmm { max_iter: 1, ..Gmm::new(2, 0) }.fit(&rows);
-        let many_iter = Gmm { max_iter: 50, ..Gmm::new(2, 0) }.fit(&rows);
+        let one_iter = Gmm {
+            max_iter: 1,
+            ..Gmm::new(2, 0)
+        }
+        .fit(&rows);
+        let many_iter = Gmm {
+            max_iter: 50,
+            ..Gmm::new(2, 0)
+        }
+        .fit(&rows);
         assert!(many_iter.log_likelihood >= one_iter.log_likelihood - 1e-9);
     }
 

@@ -39,7 +39,13 @@ impl Kdba {
     /// Creates a configuration with `max_iter = 10`, `dba_iter = 5` and a
     /// 10 %-of-length band (resolved at fit time).
     pub fn new(k: usize, seed: u64) -> Self {
-        Kdba { k, max_iter: 10, dba_iter: 5, window: None, seed }
+        Kdba {
+            k,
+            max_iter: 10,
+            dba_iter: 5,
+            window: None,
+            seed,
+        }
     }
 
     /// Fits k-DBA on equal-length rows.
@@ -50,7 +56,9 @@ impl Kdba {
         assert!(rows.iter().all(|r| r.len() == m), "ragged input rows");
         let n = rows.len();
         let k = self.k.min(n);
-        let opts = DtwOptions { window: Some(self.window.unwrap_or((m / 10).max(2))) };
+        let opts = DtwOptions {
+            window: Some(self.window.unwrap_or((m / 10).max(2))),
+        };
 
         // Initialise centroids as k distinct random members.
         let mut rng = StdRng::seed_from_u64(self.seed);
@@ -59,8 +67,7 @@ impl Kdba {
             let j = rng.gen_range(0..=i);
             picks.swap(i, j);
         }
-        let mut centroids: Vec<Vec<f64>> =
-            picks.iter().take(k).map(|&i| rows[i].clone()).collect();
+        let mut centroids: Vec<Vec<f64>> = picks.iter().take(k).map(|&i| rows[i].clone()).collect();
         let mut labels = vec![0usize; n];
 
         for _ in 0..self.max_iter {
@@ -106,7 +113,11 @@ impl Kdba {
             .zip(&labels)
             .map(|(row, &l)| dtw(&centroids[l], row, opts).unwrap_or(0.0))
             .sum();
-        KdbaResult { labels, centroids, total_distance }
+        KdbaResult {
+            labels,
+            centroids,
+            total_distance,
+        }
     }
 }
 
@@ -172,7 +183,11 @@ mod tests {
     #[test]
     fn explicit_window_respected() {
         let (rows, truth) = warped_bumps();
-        let r = Kdba { window: Some(10), ..Kdba::new(2, 2) }.fit(&rows);
+        let r = Kdba {
+            window: Some(10),
+            ..Kdba::new(2, 2)
+        }
+        .fit(&rows);
         let ari = adjusted_rand_index(&truth, &r.labels);
         assert!(ari > 0.8, "ARI {ari}");
     }

@@ -24,7 +24,12 @@ impl KMeans {
     /// Creates a k-Means configuration with sane defaults
     /// (`max_iter = 100`, `n_init = 5`).
     pub fn new(k: usize, seed: u64) -> Self {
-        KMeans { k, max_iter: 100, n_init: 5, seed }
+        KMeans {
+            k,
+            max_iter: 100,
+            n_init: 5,
+            seed,
+        }
     }
 
     /// Fits on `rows` (points as equal-length vectors).
@@ -103,7 +108,11 @@ impl KMeans {
         while centroids.len() < self.k {
             centroids.push(centroids[0].clone());
         }
-        KMeansResult { labels, centroids, inertia }
+        KMeansResult {
+            labels,
+            centroids,
+            inertia,
+        }
     }
 }
 
@@ -306,8 +315,20 @@ mod tests {
     #[test]
     fn more_restarts_never_hurt() {
         let (rows, _) = three_blobs();
-        let few = KMeans { k: 3, max_iter: 100, n_init: 1, seed: 5 }.fit(&rows);
-        let many = KMeans { k: 3, max_iter: 100, n_init: 10, seed: 5 }.fit(&rows);
+        let few = KMeans {
+            k: 3,
+            max_iter: 100,
+            n_init: 1,
+            seed: 5,
+        }
+        .fit(&rows);
+        let many = KMeans {
+            k: 3,
+            max_iter: 100,
+            n_init: 10,
+            seed: 5,
+        }
+        .fit(&rows);
         assert!(many.inertia <= few.inertia + 1e-12);
     }
 }

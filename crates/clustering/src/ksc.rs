@@ -83,7 +83,12 @@ impl Ksc {
     /// Creates a configuration (`max_iter = 20`; shift budget = len/8 by
     /// default at fit time if `max_shift == usize::MAX`).
     pub fn new(k: usize, seed: u64) -> Self {
-        Ksc { k, max_iter: 20, max_shift: usize::MAX, seed }
+        Ksc {
+            k,
+            max_iter: 20,
+            max_shift: usize::MAX,
+            seed,
+        }
     }
 
     /// Fits k-SC on equal-length rows.
@@ -94,7 +99,11 @@ impl Ksc {
         assert!(rows.iter().all(|r| r.len() == m), "ragged input rows");
         let n = rows.len();
         let k = self.k.min(n);
-        let max_shift = if self.max_shift == usize::MAX { (m / 8).max(1) } else { self.max_shift };
+        let max_shift = if self.max_shift == usize::MAX {
+            (m / 8).max(1)
+        } else {
+            self.max_shift
+        };
 
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut labels: Vec<usize> = (0..n).map(|_| rng.gen_range(0..k)).collect();
@@ -109,8 +118,7 @@ impl Ksc {
         for _ in 0..self.max_iter {
             // Centroid refinement.
             for (c, centroid) in centroids.iter_mut().enumerate() {
-                let members: Vec<usize> =
-                    (0..n).filter(|&i| labels[i] == c).collect();
+                let members: Vec<usize> = (0..n).filter(|&i| labels[i] == c).collect();
                 if members.is_empty() {
                     continue;
                 }
@@ -193,7 +201,13 @@ fn spectral_centroid(
     // Sign convention: positively correlated with the member mean.
     let mean_dot: f64 = members
         .iter()
-        .map(|&i| rows[i].iter().zip(&centroid).map(|(a, b)| a * b).sum::<f64>())
+        .map(|&i| {
+            rows[i]
+                .iter()
+                .zip(&centroid)
+                .map(|(a, b)| a * b)
+                .sum::<f64>()
+        })
         .sum();
     if mean_dot < 0.0 {
         for x in &mut centroid {
@@ -258,8 +272,9 @@ mod tests {
                 .collect();
             rows.push(apply_shift(&spike, sh));
             truth.push(0);
-            let ramp: Vec<f64> =
-                (0..m).map(|i| amp * (i as f64 / m as f64).powi(3)).collect();
+            let ramp: Vec<f64> = (0..m)
+                .map(|i| amp * (i as f64 / m as f64).powi(3))
+                .collect();
             rows.push(apply_shift(&ramp, sh));
             truth.push(1);
         }

@@ -17,7 +17,11 @@ use tscore::transform::znorm;
 pub fn ncc_fft(a: &[f64], b: &[f64]) -> Vec<f64> {
     let na: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
     let nb: f64 = b.iter().map(|x| x * x).sum::<f64>().sqrt();
-    let denom = if na * nb <= f64::EPSILON { 1.0 } else { na * nb };
+    let denom = if na * nb <= f64::EPSILON {
+        1.0
+    } else {
+        na * nb
+    };
     cross_correlation_fft(a, b)
         .into_iter()
         .map(|v| v / denom)
@@ -66,7 +70,11 @@ pub struct KShapeResult {
 impl KShape {
     /// Creates a configuration with `max_iter = 30`.
     pub fn new(k: usize, seed: u64) -> Self {
-        KShape { k, max_iter: 30, seed }
+        KShape {
+            k,
+            max_iter: 30,
+            seed,
+        }
     }
 
     /// Fits k-Shape on equal-length rows (z-normalised internally).
@@ -143,7 +151,11 @@ impl KShape {
                 }
             })
             .sum();
-        KShapeResult { labels, centroids, total_distance }
+        KShapeResult {
+            labels,
+            centroids,
+            total_distance,
+        }
     }
 }
 
@@ -283,9 +295,7 @@ mod tests {
             // Class 1: three sine periods, phase-shifted.
             rows.push(
                 (0..m)
-                    .map(|i| {
-                        ((i + shift) as f64 * 6.0 * std::f64::consts::PI / m as f64).sin()
-                    })
+                    .map(|i| ((i + shift) as f64 * 6.0 * std::f64::consts::PI / m as f64).sin())
                     .collect(),
             );
             truth.push(1);

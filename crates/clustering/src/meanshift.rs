@@ -19,14 +19,21 @@ pub struct MeanShift {
 
 impl Default for MeanShift {
     fn default() -> Self {
-        MeanShift { bandwidth: None, max_iter: 100, tol: 1e-5 }
+        MeanShift {
+            bandwidth: None,
+            max_iter: 100,
+            tol: 1e-5,
+        }
     }
 }
 
 impl MeanShift {
     /// Creates a configuration with an explicit bandwidth.
     pub fn with_bandwidth(bandwidth: f64) -> Self {
-        MeanShift { bandwidth: Some(bandwidth), ..Default::default() }
+        MeanShift {
+            bandwidth: Some(bandwidth),
+            ..Default::default()
+        }
     }
 
     /// Runs mean-shift; returns (labels, modes).
@@ -35,7 +42,10 @@ impl MeanShift {
         if n == 0 {
             return (Vec::new(), Vec::new());
         }
-        let bw = self.bandwidth.unwrap_or_else(|| estimate_bandwidth(rows)).max(1e-9);
+        let bw = self
+            .bandwidth
+            .unwrap_or_else(|| estimate_bandwidth(rows))
+            .max(1e-9);
         let inv2bw2 = 1.0 / (2.0 * bw * bw);
 
         // Hill-climb every point.
@@ -46,11 +56,7 @@ impl MeanShift {
                 let mut num = vec![0.0; x.len()];
                 let mut den = 0.0;
                 for row in rows {
-                    let d2: f64 = x
-                        .iter()
-                        .zip(row)
-                        .map(|(a, b)| (a - b) * (a - b))
-                        .sum();
+                    let d2: f64 = x.iter().zip(row).map(|(a, b)| (a - b) * (a - b)).sum();
                     let w = (-d2 * inv2bw2).exp();
                     den += w;
                     for (s, &v) in num.iter_mut().zip(row) {

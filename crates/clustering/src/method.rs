@@ -153,9 +153,7 @@ impl ClusteringMethod {
                 spectral_clustering(&aff, SpectralOptions::new(self.k, self.seed))
             }
             MethodKind::AggloWard => Agglomerative::new(self.k, Linkage::Ward).fit(&z),
-            MethodKind::AggloComplete => {
-                Agglomerative::new(self.k, Linkage::Complete).fit(&z)
-            }
+            MethodKind::AggloComplete => Agglomerative::new(self.k, Linkage::Complete).fit(&z),
             MethodKind::Dbscan => {
                 let eps = dbscan_eps(&z);
                 let labels = Dbscan::new(eps, 3).fit(&z);
@@ -167,8 +165,11 @@ impl ClusteringMethod {
             }
             MethodKind::Birch => {
                 let proj = pca_project(&z, 8);
-                Birch { threshold: birch_threshold(&proj), ..Birch::new(self.k, self.seed) }
-                    .fit(&proj)
+                Birch {
+                    threshold: birch_threshold(&proj),
+                    ..Birch::new(self.k, self.seed)
+                }
+                .fit(&proj)
             }
             MethodKind::MeanShift => {
                 let proj = pca_project(&z, 4);
@@ -176,9 +177,11 @@ impl ClusteringMethod {
             }
             MethodKind::FeatTs => FeatTsLike::new(self.k, self.seed).fit(&raw),
             MethodKind::Time2Feat => Time2FeatLike::new(self.k, self.seed).fit(&raw),
-            MethodKind::DenseAe => {
-                DenseAe { epochs: 80, ..DenseAe::new(8, self.seed) }.fit_cluster(&raw, self.k)
+            MethodKind::DenseAe => DenseAe {
+                epochs: 80,
+                ..DenseAe::new(8, self.seed)
             }
+            .fit_cluster(&raw, self.k),
             MethodKind::DtcLike => {
                 let mut cfg = DtcLike::new(self.k, 8, self.seed);
                 cfg.ae.epochs = 80;
@@ -263,7 +266,9 @@ mod tests {
         for v in 0..8 {
             let phase = v as f64 * 0.05;
             series.push(TimeSeries::new(
-                (0..m).map(|i| (i as f64 * 0.4 + phase).sin() * 2.0).collect(),
+                (0..m)
+                    .map(|i| (i as f64 * 0.4 + phase).sin() * 2.0)
+                    .collect(),
             ));
             labels.push(0);
             series.push(TimeSeries::new(
@@ -320,8 +325,10 @@ mod tests {
 
     #[test]
     fn method_names_unique() {
-        let names: std::collections::HashSet<_> =
-            MethodKind::all_baselines().iter().map(|m| m.name()).collect();
+        let names: std::collections::HashSet<_> = MethodKind::all_baselines()
+            .iter()
+            .map(|m| m.name())
+            .collect();
         assert_eq!(names.len(), MethodKind::all_baselines().len());
     }
 

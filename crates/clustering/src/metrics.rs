@@ -39,7 +39,12 @@ impl Contingency {
                 col_sums[j] += c;
             }
         }
-        Contingency { table, row_sums, col_sums, n: truth.len() }
+        Contingency {
+            table,
+            row_sums,
+            col_sums,
+            n: truth.len(),
+        }
     }
 }
 
@@ -289,7 +294,11 @@ pub fn silhouette(rows: &[Vec<f64>], labels: &[usize]) -> f64 {
         return 0.0;
     }
     let dist = |a: &[f64], b: &[f64]| -> f64 {
-        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt()
     };
     let mut total = 0.0;
     let mut counted = 0usize;

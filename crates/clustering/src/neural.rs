@@ -40,7 +40,14 @@ impl DenseAe {
     /// Creates a configuration with pragmatic defaults (latent 8, 150
     /// epochs, lr 0.01).
     pub fn new(latent: usize, seed: u64) -> Self {
-        DenseAe { latent, epochs: 150, lr: 0.01, momentum: 0.9, batch: 16, seed }
+        DenseAe {
+            latent,
+            epochs: 150,
+            lr: 0.01,
+            momentum: 0.9,
+            batch: 16,
+            seed,
+        }
     }
 
     /// Trains the auto-encoder on z-scored rows; returns the trained model.
@@ -97,8 +104,11 @@ impl DenseAe {
                         *xh += w2[o].iter().zip(&hid).map(|(w, v)| w * v).sum::<f64>();
                     }
                     // Backward (MSE loss, factor 2/d folded into lr).
-                    let err: Vec<f64> =
-                        xhat.iter().zip(x).map(|(a, b)| (a - b) / d as f64).collect();
+                    let err: Vec<f64> = xhat
+                        .iter()
+                        .zip(x)
+                        .map(|(a, b)| (a - b) / d as f64)
+                        .collect();
                     for o in 0..d {
                         gb2[o] += err[o];
                         for j in 0..h {
@@ -106,8 +116,7 @@ impl DenseAe {
                         }
                     }
                     for j in 0..h {
-                        let upstream: f64 =
-                            (0..d).map(|o| err[o] * w2[o][j]).sum::<f64>();
+                        let upstream: f64 = (0..d).map(|o| err[o] * w2[o][j]).sum::<f64>();
                         let dh = upstream * (1.0 - hid[j] * hid[j]);
                         gb1[j] += dh;
                         for (i, &xv) in x.iter().enumerate() {
@@ -141,8 +150,7 @@ impl DenseAe {
     /// Trains, encodes and clusters the latent codes with k-Means.
     pub fn fit_cluster(&self, rows: &[Vec<f64>], k: usize) -> Vec<usize> {
         let model = self.train(rows);
-        let latent: Vec<Vec<f64>> =
-            rows.iter().map(|r| model.encode(&znorm(r))).collect();
+        let latent: Vec<Vec<f64>> = rows.iter().map(|r| model.encode(&znorm(r))).collect();
         KMeans::new(k, self.seed).fit(&latent).labels
     }
 }
@@ -208,15 +216,19 @@ pub struct DtcLike {
 impl DtcLike {
     /// Creates a configuration with 50 refinement iterations.
     pub fn new(k: usize, latent: usize, seed: u64) -> Self {
-        DtcLike { ae: DenseAe::new(latent, seed), k, refine_iter: 50, centroid_lr: 0.5 }
+        DtcLike {
+            ae: DenseAe::new(latent, seed),
+            k,
+            refine_iter: 50,
+            centroid_lr: 0.5,
+        }
     }
 
     /// Trains AE, initialises centroids with k-Means on the latent codes,
     /// then refines centroids by descending the DEC KL objective.
     pub fn fit(&self, rows: &[Vec<f64>]) -> Vec<usize> {
         let model = self.ae.train(rows);
-        let latent: Vec<Vec<f64>> =
-            rows.iter().map(|r| model.encode(&znorm(r))).collect();
+        let latent: Vec<Vec<f64>> = rows.iter().map(|r| model.encode(&znorm(r))).collect();
         let km = KMeans::new(self.k, self.ae.seed).fit(&latent);
         let mut centroids = km.centroids.clone();
         centroids.truncate(self.k.min(latent.len()));
@@ -266,8 +278,7 @@ impl DtcLike {
                         .map(|(a, b)| (a - b) * (a - b))
                         .sum();
                     let coef = 2.0 * (q[i][j] - p[i][j]) / (1.0 + d2);
-                    for (g, (zi, cj)) in grad.iter_mut().zip(latent[i].iter().zip(&centroids[j]))
-                    {
+                    for (g, (zi, cj)) in grad.iter_mut().zip(latent[i].iter().zip(&centroids[j])) {
                         *g += coef * (zi - cj);
                     }
                 }
@@ -310,7 +321,17 @@ mod tests {
             let phase = v as f64 * 0.1;
             rows.push((0..m).map(|i| (i as f64 * 0.2 + phase).sin()).collect());
             truth.push(0);
-            rows.push((0..m).map(|i| if (i / 8) % 2 == 0 { 1.0 } else { -1.0 + phase * 0.01 }).collect());
+            rows.push(
+                (0..m)
+                    .map(|i| {
+                        if (i / 8) % 2 == 0 {
+                            1.0
+                        } else {
+                            -1.0 + phase * 0.01
+                        }
+                    })
+                    .collect(),
+            );
             truth.push(1);
         }
         (rows, truth)
@@ -319,8 +340,16 @@ mod tests {
     #[test]
     fn autoencoder_learns_to_reconstruct() {
         let (rows, _) = two_waveforms();
-        let short = DenseAe { epochs: 1, ..DenseAe::new(6, 0) }.train(&rows);
-        let long = DenseAe { epochs: 200, ..DenseAe::new(6, 0) }.train(&rows);
+        let short = DenseAe {
+            epochs: 1,
+            ..DenseAe::new(6, 0)
+        }
+        .train(&rows);
+        let long = DenseAe {
+            epochs: 200,
+            ..DenseAe::new(6, 0)
+        }
+        .train(&rows);
         let e_short = short.reconstruction_error(&rows);
         let e_long = long.reconstruction_error(&rows);
         assert!(
@@ -360,7 +389,10 @@ mod tests {
     #[test]
     fn training_deterministic() {
         let (rows, _) = two_waveforms();
-        let cfg = DenseAe { epochs: 20, ..DenseAe::new(4, 9) };
+        let cfg = DenseAe {
+            epochs: 20,
+            ..DenseAe::new(4, 9)
+        };
         let a = cfg.fit_cluster(&rows, 2);
         let b = cfg.fit_cluster(&rows, 2);
         assert_eq!(a, b);
@@ -380,6 +412,9 @@ mod tests {
         let ari_base = adjusted_rand_index(&truth, &base);
         let ari_ref = adjusted_rand_index(&truth, &refined);
         // Refinement should stay within a reasonable band of the init.
-        assert!(ari_ref >= ari_base - 0.3, "base {ari_base} refined {ari_ref}");
+        assert!(
+            ari_ref >= ari_base - 0.3,
+            "base {ari_base} refined {ari_ref}"
+        );
     }
 }

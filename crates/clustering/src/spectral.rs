@@ -22,7 +22,11 @@ pub struct SpectralOptions {
 impl SpectralOptions {
     /// Default options for `k` clusters.
     pub fn new(k: usize, seed: u64) -> Self {
-        SpectralOptions { k, seed, n_init: 10 }
+        SpectralOptions {
+            k,
+            seed,
+            n_init: 10,
+        }
     }
 }
 
@@ -88,9 +92,14 @@ pub fn spectral_clustering(affinity: &Matrix, opts: SpectralOptions) -> Vec<usiz
         }
     }
 
-    KMeans { k: opts.k, max_iter: 200, n_init: opts.n_init, seed: opts.seed }
-        .fit(&embedding)
-        .labels
+    KMeans {
+        k: opts.k,
+        max_iter: 200,
+        n_init: opts.n_init,
+        seed: opts.seed,
+    }
+    .fit(&embedding)
+    .labels
 }
 
 /// Gaussian (RBF) affinity between rows: `exp(−‖x−y‖² / (2σ²))`.
@@ -126,7 +135,13 @@ pub fn rbf_affinity(rows: &[Vec<f64>], sigma: Option<f64>) -> Matrix {
         }
     });
     let denom = 2.0 * sigma * sigma;
-    Matrix::from_fn(n, n, |i, j| if i == j { 1.0 } else { (-d2[(i, j)] / denom).exp() })
+    Matrix::from_fn(n, n, |i, j| {
+        if i == j {
+            1.0
+        } else {
+            (-d2[(i, j)] / denom).exp()
+        }
+    })
 }
 
 /// k-nearest-neighbour affinity (symmetrised: edge if either side lists the
@@ -166,7 +181,10 @@ mod tests {
         for i in 0..15 {
             rows.push(vec![0.0 + (i % 4) as f64 * 0.1, (i % 3) as f64 * 0.1]);
             truth.push(0);
-            rows.push(vec![10.0 + (i % 4) as f64 * 0.1, 10.0 + (i % 3) as f64 * 0.1]);
+            rows.push(vec![
+                10.0 + (i % 4) as f64 * 0.1,
+                10.0 + (i % 3) as f64 * 0.1,
+            ]);
             truth.push(1);
         }
         (rows, truth)
@@ -176,13 +194,7 @@ mod tests {
     fn block_diagonal_affinity_recovers_blocks() {
         // Perfect consensus-style matrix: 1 within blocks, 0 across.
         let n = 12;
-        let aff = Matrix::from_fn(n, n, |i, j| {
-            if (i < 6) == (j < 6) {
-                1.0
-            } else {
-                0.0
-            }
-        });
+        let aff = Matrix::from_fn(n, n, |i, j| if (i < 6) == (j < 6) { 1.0 } else { 0.0 });
         let labels = spectral_clustering(&aff, SpectralOptions::new(2, 0));
         let truth: Vec<usize> = (0..n).map(|i| usize::from(i >= 6)).collect();
         assert!((adjusted_rand_index(&truth, &labels) - 1.0).abs() < 1e-12);
@@ -192,13 +204,7 @@ mod tests {
     fn three_blocks() {
         let n = 15;
         let block = |i: usize| i / 5;
-        let aff = Matrix::from_fn(n, n, |i, j| {
-            if block(i) == block(j) {
-                0.9
-            } else {
-                0.02
-            }
-        });
+        let aff = Matrix::from_fn(n, n, |i, j| if block(i) == block(j) { 0.9 } else { 0.02 });
         let labels = spectral_clustering(&aff, SpectralOptions::new(3, 1));
         let truth: Vec<usize> = (0..n).map(block).collect();
         assert!((adjusted_rand_index(&truth, &labels) - 1.0).abs() < 1e-12);

@@ -155,12 +155,20 @@ pub fn select_k(
     assert!(!candidates.is_empty(), "empty k range after clamping");
     let best_ch = candidates
         .iter()
-        .max_by(|a, b| a.calinski_harabasz.partial_cmp(&b.calinski_harabasz).expect("NaN"))
+        .max_by(|a, b| {
+            a.calinski_harabasz
+                .partial_cmp(&b.calinski_harabasz)
+                .expect("NaN")
+        })
         .expect("non-empty")
         .k;
     let best_db = candidates
         .iter()
-        .min_by(|a, b| a.davies_bouldin.partial_cmp(&b.davies_bouldin).expect("NaN"))
+        .min_by(|a, b| {
+            a.davies_bouldin
+                .partial_cmp(&b.davies_bouldin)
+                .expect("NaN")
+        })
         .expect("non-empty")
         .k;
     let best_sil = candidates

@@ -76,7 +76,12 @@ pub struct Dataset {
 impl Dataset {
     /// Creates an unlabelled dataset.
     pub fn new(name: impl Into<String>, kind: DatasetKind, series: Vec<TimeSeries>) -> Self {
-        Dataset { name: name.into(), kind, series, labels: None }
+        Dataset {
+            name: name.into(),
+            kind,
+            series,
+            labels: None,
+        }
     }
 
     /// Creates a labelled dataset; errors if labels and series disagree.
@@ -87,9 +92,17 @@ impl Dataset {
         labels: Vec<usize>,
     ) -> Result<Self> {
         if labels.len() != series.len() {
-            return Err(TsError::LabelMismatch { series: series.len(), labels: labels.len() });
+            return Err(TsError::LabelMismatch {
+                series: series.len(),
+                labels: labels.len(),
+            });
         }
-        Ok(Dataset { name: name.into(), kind, series, labels: Some(labels) })
+        Ok(Dataset {
+            name: name.into(),
+            kind,
+            series,
+            labels: Some(labels),
+        })
     }
 
     /// Dataset display name.
@@ -162,7 +175,10 @@ impl Dataset {
 
     /// Z-normalised copy of every series.
     pub fn znormed_rows(&self) -> Vec<Vec<f64>> {
-        self.series.iter().map(|s| transform::znorm(s.values())).collect()
+        self.series
+            .iter()
+            .map(|s| transform::znorm(s.values()))
+            .collect()
     }
 
     /// Resamples every series to a common length (the minimum by default),
@@ -189,7 +205,10 @@ impl Dataset {
     /// Returns the subset of series with the given indices (labels follow).
     pub fn subset(&self, indices: &[usize]) -> Result<Dataset> {
         let mut series = Vec::with_capacity(indices.len());
-        let mut labels = self.labels.as_ref().map(|_| Vec::with_capacity(indices.len()));
+        let mut labels = self
+            .labels
+            .as_ref()
+            .map(|_| Vec::with_capacity(indices.len()));
         for &i in indices {
             let s = self.series.get(i).ok_or_else(|| {
                 TsError::InvalidParameter(format!("subset index {i} out of range"))
@@ -199,7 +218,12 @@ impl Dataset {
                 out.push(all[i]);
             }
         }
-        Ok(Dataset { name: self.name.clone(), kind: self.kind, series, labels })
+        Ok(Dataset {
+            name: self.name.clone(),
+            kind: self.kind,
+            series,
+            labels,
+        })
     }
 
     /// Indices of the series belonging to class `c` (empty when unlabelled).
@@ -272,7 +296,11 @@ mod tests {
 
     #[test]
     fn unlabelled_dataset() {
-        let d = Dataset::new("u", DatasetKind::Sensor, vec![TimeSeries::new(vec![1.0, 2.0])]);
+        let d = Dataset::new(
+            "u",
+            DatasetKind::Sensor,
+            vec![TimeSeries::new(vec![1.0, 2.0])],
+        );
         assert_eq!(d.labels(), None);
         assert_eq!(d.n_classes(), 0);
         assert!(d.class_indices(0).is_empty());

@@ -15,7 +15,10 @@ use crate::transform::znorm;
 /// Squared Euclidean distance. Errors on length mismatch.
 pub fn sq_euclidean(a: &[f64], b: &[f64]) -> Result<f64> {
     if a.len() != b.len() {
-        return Err(TsError::LengthMismatch { left: a.len(), right: b.len() });
+        return Err(TsError::LengthMismatch {
+            left: a.len(),
+            right: b.len(),
+        });
     }
     Ok(a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum())
 }
@@ -31,7 +34,10 @@ pub fn euclidean(a: &[f64], b: &[f64]) -> Result<f64> {
 /// raw-based clustering when series have been recorded at different gains.
 pub fn znorm_euclidean(a: &[f64], b: &[f64]) -> Result<f64> {
     if a.len() != b.len() {
-        return Err(TsError::LengthMismatch { left: a.len(), right: b.len() });
+        return Err(TsError::LengthMismatch {
+            left: a.len(),
+            right: b.len(),
+        });
     }
     euclidean(&znorm(a), &znorm(b))
 }
@@ -39,7 +45,10 @@ pub fn znorm_euclidean(a: &[f64], b: &[f64]) -> Result<f64> {
 /// Manhattan (L1) distance. Errors on length mismatch.
 pub fn manhattan(a: &[f64], b: &[f64]) -> Result<f64> {
     if a.len() != b.len() {
-        return Err(TsError::LengthMismatch { left: a.len(), right: b.len() });
+        return Err(TsError::LengthMismatch {
+            left: a.len(),
+            right: b.len(),
+        });
     }
     Ok(a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum())
 }
@@ -47,9 +56,15 @@ pub fn manhattan(a: &[f64], b: &[f64]) -> Result<f64> {
 /// Chebyshev (L∞) distance. Errors on length mismatch.
 pub fn chebyshev(a: &[f64], b: &[f64]) -> Result<f64> {
     if a.len() != b.len() {
-        return Err(TsError::LengthMismatch { left: a.len(), right: b.len() });
+        return Err(TsError::LengthMismatch {
+            left: a.len(),
+            right: b.len(),
+        });
     }
-    Ok(a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max))
+    Ok(a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max))
 }
 
 /// Full normalised cross-correlation sequence `NCC_c(a, b)`.
@@ -60,15 +75,25 @@ pub fn chebyshev(a: &[f64], b: &[f64]) -> Result<f64> {
 /// O(m²) evaluation.
 pub fn ncc(a: &[f64], b: &[f64]) -> Result<Vec<f64>> {
     if a.len() != b.len() {
-        return Err(TsError::LengthMismatch { left: a.len(), right: b.len() });
+        return Err(TsError::LengthMismatch {
+            left: a.len(),
+            right: b.len(),
+        });
     }
     let m = a.len();
     if m == 0 {
-        return Err(TsError::TooShort { required: 1, actual: 0 });
+        return Err(TsError::TooShort {
+            required: 1,
+            actual: 0,
+        });
     }
     let na: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
     let nb: f64 = b.iter().map(|x| x * x).sum::<f64>().sqrt();
-    let denom = if na * nb <= f64::EPSILON { 1.0 } else { na * nb };
+    let denom = if na * nb <= f64::EPSILON {
+        1.0
+    } else {
+        na * nb
+    };
     let mut out = vec![0.0; 2 * m - 1];
     for (s, slot) in out.iter_mut().enumerate() {
         // shift of b relative to a: k = s − (m−1)

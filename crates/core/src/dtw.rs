@@ -7,13 +7,11 @@
 use crate::error::{Result, TsError};
 
 /// Configuration for DTW.
-#[derive(Debug, Clone, Copy)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct DtwOptions {
     /// Sakoe–Chiba band half-width; `None` means unconstrained.
     pub window: Option<usize>,
 }
-
 
 /// DTW distance between two series (may have different lengths).
 ///
@@ -21,7 +19,10 @@ pub struct DtwOptions {
 /// the common "DTW with squared local distance" convention used by tslearn.
 pub fn dtw(a: &[f64], b: &[f64], opts: DtwOptions) -> Result<f64> {
     if a.is_empty() || b.is_empty() {
-        return Err(TsError::TooShort { required: 1, actual: a.len().min(b.len()) });
+        return Err(TsError::TooShort {
+            required: 1,
+            actual: a.len().min(b.len()),
+        });
     }
     let n = a.len();
     let m = b.len();
@@ -60,7 +61,10 @@ pub fn dtw(a: &[f64], b: &[f64], opts: DtwOptions) -> Result<f64> {
 /// and is the building block of DBA averaging.
 pub fn dtw_path(a: &[f64], b: &[f64], opts: DtwOptions) -> Result<(f64, Vec<(usize, usize)>)> {
     if a.is_empty() || b.is_empty() {
-        return Err(TsError::TooShort { required: 1, actual: a.len().min(b.len()) });
+        return Err(TsError::TooShort {
+            required: 1,
+            actual: a.len().min(b.len()),
+        });
     }
     let n = a.len();
     let m = b.len();
@@ -77,7 +81,9 @@ pub fn dtw_path(a: &[f64], b: &[f64], opts: DtwOptions) -> Result<(f64, Vec<(usi
         let hi = (i + w).min(m);
         for j in lo..=hi {
             let cost = (a[i - 1] - b[j - 1]) * (a[i - 1] - b[j - 1]);
-            let best = dp[idx(i - 1, j)].min(dp[idx(i, j - 1)]).min(dp[idx(i - 1, j - 1)]);
+            let best = dp[idx(i - 1, j)]
+                .min(dp[idx(i, j - 1)])
+                .min(dp[idx(i - 1, j - 1)]);
             dp[idx(i, j)] = cost + best;
         }
     }
@@ -115,7 +121,10 @@ pub fn dtw_path(a: &[f64], b: &[f64], opts: DtwOptions) -> Result<(f64, Vec<(usi
 /// lengths; the centre length is preserved.
 pub fn dba_step(center: &[f64], members: &[&[f64]], opts: DtwOptions) -> Result<Vec<f64>> {
     if center.is_empty() {
-        return Err(TsError::TooShort { required: 1, actual: 0 });
+        return Err(TsError::TooShort {
+            required: 1,
+            actual: 0,
+        });
     }
     let mut sums = vec![0.0; center.len()];
     let mut counts = vec![0usize; center.len()];
@@ -135,7 +144,12 @@ pub fn dba_step(center: &[f64], members: &[&[f64]], opts: DtwOptions) -> Result<
 }
 
 /// Full DBA: iterates [`dba_step`] until convergence or `max_iter`.
-pub fn dba(init: &[f64], members: &[&[f64]], opts: DtwOptions, max_iter: usize) -> Result<Vec<f64>> {
+pub fn dba(
+    init: &[f64],
+    members: &[&[f64]],
+    opts: DtwOptions,
+    max_iter: usize,
+) -> Result<Vec<f64>> {
     let mut center = init.to_vec();
     for _ in 0..max_iter {
         let next = dba_step(&center, members, opts)?;
@@ -231,7 +245,10 @@ mod tests {
         let b: Vec<f64> = (0..50).map(|i| (i as f64 * 0.3 + 0.8).sin()).collect();
         let unb = dtw(&a, &b, DtwOptions::default()).unwrap();
         let band = dtw(&a, &b, DtwOptions { window: Some(3) }).unwrap();
-        assert!(band >= unb - 1e-12, "banded {band} must be >= unbanded {unb}");
+        assert!(
+            band >= unb - 1e-12,
+            "banded {band} must be >= unbanded {unb}"
+        );
     }
 
     #[test]

@@ -65,14 +65,20 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = TsError::TooShort { required: 10, actual: 3 };
+        let e = TsError::TooShort {
+            required: 10,
+            actual: 3,
+        };
         assert!(e.to_string().contains("10"));
         assert!(e.to_string().contains("3"));
         let e = TsError::LengthMismatch { left: 4, right: 7 };
         assert!(e.to_string().contains("4"));
         let e = TsError::InvalidParameter("k must be > 0".into());
         assert!(e.to_string().contains("k must be > 0"));
-        let e = TsError::LabelMismatch { series: 5, labels: 4 };
+        let e = TsError::LabelMismatch {
+            series: 5,
+            labels: 4,
+        };
         assert!(e.to_string().contains("5"));
         let e = TsError::Parse("bad float".into());
         assert!(e.to_string().contains("bad float"));

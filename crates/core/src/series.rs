@@ -24,7 +24,10 @@ impl TimeSeries {
 
     /// Creates a named series (names show up in plots and reports).
     pub fn named(name: impl Into<String>, values: Vec<f64>) -> Self {
-        TimeSeries { values, name: Some(name.into()) }
+        TimeSeries {
+            values,
+            name: Some(name.into()),
+        }
     }
 
     /// Builds a series by sampling `f` at `0..n`.
@@ -79,7 +82,10 @@ impl TimeSeries {
             TsError::InvalidParameter(format!("subsequence range overflows: {start}+{len}"))
         })?;
         if end > self.values.len() {
-            return Err(TsError::TooShort { required: end, actual: self.values.len() });
+            return Err(TsError::TooShort {
+                required: end,
+                actual: self.values.len(),
+            });
         }
         Ok(&self.values[start..end])
     }
@@ -193,7 +199,10 @@ mod tests {
     #[test]
     fn subsequence_out_of_bounds_errors() {
         let ts = TimeSeries::new(vec![0.0, 1.0, 2.0]);
-        assert!(matches!(ts.subsequence(2, 2), Err(TsError::TooShort { .. })));
+        assert!(matches!(
+            ts.subsequence(2, 2),
+            Err(TsError::TooShort { .. })
+        ));
         assert!(ts.subsequence(usize::MAX, 2).is_err());
     }
 

@@ -132,7 +132,11 @@ pub fn covariance(xs: &[f64], ys: &[f64]) -> f64 {
     }
     let mx = mean(xs);
     let my = mean(ys);
-    xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum::<f64>() / xs.len() as f64
+    xs.iter()
+        .zip(ys)
+        .map(|(x, y)| (x - mx) * (y - my))
+        .sum::<f64>()
+        / xs.len() as f64
 }
 
 /// Pearson correlation coefficient; `0.0` when either side is constant.
@@ -177,7 +181,9 @@ pub fn autocorrelation(xs: &[f64], lag: usize) -> f64 {
     if denom <= f64::EPSILON {
         return 0.0;
     }
-    let num: f64 = (0..xs.len() - lag).map(|i| (xs[i] - m) * (xs[i + lag] - m)).sum();
+    let num: f64 = (0..xs.len() - lag)
+        .map(|i| (xs[i] - m) * (xs[i + lag] - m))
+        .sum();
     num / denom
 }
 
@@ -317,7 +323,9 @@ mod tests {
 
     #[test]
     fn autocorrelation_of_alternating_signal() {
-        let xs: Vec<f64> = (0..64).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let xs: Vec<f64> = (0..64)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         assert!((autocorrelation(&xs, 0) - 1.0).abs() < EPS);
         assert!(autocorrelation(&xs, 1) < -0.9);
         assert!(autocorrelation(&xs, 2) > 0.9);

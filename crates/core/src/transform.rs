@@ -59,7 +59,9 @@ pub fn diff(xs: &[f64]) -> Vec<f64> {
 /// Edges use a shrunken window so the output has the same length.
 pub fn moving_average(xs: &[f64], w: usize) -> Result<Vec<f64>> {
     if w == 0 {
-        return Err(TsError::InvalidParameter("moving average window must be > 0".into()));
+        return Err(TsError::InvalidParameter(
+            "moving average window must be > 0".into(),
+        ));
     }
     let n = xs.len();
     let half = w / 2;
@@ -98,10 +100,15 @@ pub fn exp_smooth(xs: &[f64], alpha: f64) -> Result<Vec<f64>> {
 /// feeding raw-based clustering algorithms (k-Means, k-Shape, ...).
 pub fn resample(xs: &[f64], target_len: usize) -> Result<Vec<f64>> {
     if target_len == 0 {
-        return Err(TsError::InvalidParameter("target length must be > 0".into()));
+        return Err(TsError::InvalidParameter(
+            "target length must be > 0".into(),
+        ));
     }
     if xs.is_empty() {
-        return Err(TsError::TooShort { required: 1, actual: 0 });
+        return Err(TsError::TooShort {
+            required: 1,
+            actual: 0,
+        });
     }
     if xs.len() == 1 {
         return Ok(vec![xs[0]; target_len]);
@@ -131,7 +138,10 @@ pub fn paa(xs: &[f64], segments: usize) -> Result<Vec<f64>> {
         return Err(TsError::InvalidParameter("PAA segments must be > 0".into()));
     }
     if xs.len() < segments {
-        return Err(TsError::TooShort { required: segments, actual: xs.len() });
+        return Err(TsError::TooShort {
+            required: segments,
+            actual: xs.len(),
+        });
     }
     let n = xs.len() as f64;
     let mut out = Vec::with_capacity(segments);
@@ -146,7 +156,10 @@ pub fn paa(xs: &[f64], segments: usize) -> Result<Vec<f64>> {
 
 /// Adds a linear ramp `slope · i` to a copy of the slice (test/demo helper).
 pub fn add_trend(xs: &[f64], slope: f64) -> Vec<f64> {
-    xs.iter().enumerate().map(|(i, x)| x + slope * i as f64).collect()
+    xs.iter()
+        .enumerate()
+        .map(|(i, x)| x + slope * i as f64)
+        .collect()
 }
 
 #[cfg(test)]
@@ -185,8 +198,9 @@ mod tests {
     #[test]
     fn detrend_preserves_residual_shape() {
         let n = 100;
-        let xs: Vec<f64> =
-            (0..n).map(|i| 0.5 * i as f64 + (i as f64 * 0.3).sin()).collect();
+        let xs: Vec<f64> = (0..n)
+            .map(|i| 0.5 * i as f64 + (i as f64 * 0.3).sin())
+            .collect();
         let d = detrend(&xs);
         assert!(stats::trend_slope(&d).abs() < 1e-6);
         // The sine component must survive.

@@ -42,15 +42,27 @@ impl<'a> Windows<'a> {
     /// the slice is shorter than one window.
     pub fn new(data: &'a [f64], len: usize, stride: usize) -> Result<Self> {
         if len == 0 {
-            return Err(TsError::InvalidParameter("window length must be > 0".into()));
+            return Err(TsError::InvalidParameter(
+                "window length must be > 0".into(),
+            ));
         }
         if stride == 0 {
-            return Err(TsError::InvalidParameter("window stride must be > 0".into()));
+            return Err(TsError::InvalidParameter(
+                "window stride must be > 0".into(),
+            ));
         }
         if data.len() < len {
-            return Err(TsError::TooShort { required: len, actual: data.len() });
+            return Err(TsError::TooShort {
+                required: len,
+                actual: data.len(),
+            });
         }
-        Ok(Windows { data, len, stride, pos: 0 })
+        Ok(Windows {
+            data,
+            len,
+            stride,
+            pos: 0,
+        })
     }
 
     /// Number of windows this iterator will yield.
@@ -103,11 +115,7 @@ pub fn window_count(n: usize, len: usize, stride: usize) -> usize {
 /// Returns a flat list in dataset order — the same order the embedding code
 /// projects them — so row `r` of a projection matrix corresponds to
 /// `refs[r]`.
-pub fn enumerate_subsequences(
-    lens: &[usize],
-    len: usize,
-    stride: usize,
-) -> Vec<SubseqRef> {
+pub fn enumerate_subsequences(lens: &[usize], len: usize, stride: usize) -> Vec<SubseqRef> {
     let mut refs = Vec::new();
     for (series, &n) in lens.iter().enumerate() {
         let mut start = 0;
@@ -174,17 +182,46 @@ mod tests {
         let refs = enumerate_subsequences(&[4, 3], 2, 1);
         // series 0: starts 0,1,2 — series 1: starts 0,1
         assert_eq!(refs.len(), 5);
-        assert_eq!(refs[0], SubseqRef { series: 0, start: 0, len: 2 });
-        assert_eq!(refs[3], SubseqRef { series: 1, start: 0, len: 2 });
-        assert_eq!(refs[4], SubseqRef { series: 1, start: 1, len: 2 });
+        assert_eq!(
+            refs[0],
+            SubseqRef {
+                series: 0,
+                start: 0,
+                len: 2
+            }
+        );
+        assert_eq!(
+            refs[3],
+            SubseqRef {
+                series: 1,
+                start: 0,
+                len: 2
+            }
+        );
+        assert_eq!(
+            refs[4],
+            SubseqRef {
+                series: 1,
+                start: 1,
+                len: 2
+            }
+        );
     }
 
     #[test]
     fn subseq_ref_resolves() {
         let ts = TimeSeries::new(vec![1.0, 2.0, 3.0, 4.0]);
-        let r = SubseqRef { series: 0, start: 1, len: 2 };
+        let r = SubseqRef {
+            series: 0,
+            start: 1,
+            len: 2,
+        };
         assert_eq!(r.slice(&ts).unwrap(), &[2.0, 3.0]);
-        let bad = SubseqRef { series: 0, start: 3, len: 2 };
+        let bad = SubseqRef {
+            series: 0,
+            start: 3,
+            len: 2,
+        };
         assert!(bad.slice(&ts).is_err());
     }
 }

@@ -106,7 +106,10 @@ mod tests {
         let mut bell_mean = vec![0.0; n];
         let mut funnel_mean = vec![0.0; n];
         for _ in 0..100 {
-            for (acc, class) in [(&mut bell_mean, CbfClass::Bell), (&mut funnel_mean, CbfClass::Funnel)] {
+            for (acc, class) in [
+                (&mut bell_mean, CbfClass::Bell),
+                (&mut funnel_mean, CbfClass::Funnel),
+            ] {
                 let s = cbf_series(class, n, &mut rng);
                 for (a, v) in acc.iter_mut().zip(&s) {
                     *a += v;
@@ -116,7 +119,10 @@ mod tests {
         let bell_slope = stats::trend_slope(&bell_mean[30..90]);
         let funnel_slope = stats::trend_slope(&funnel_mean[30..90]);
         assert!(bell_slope > 0.0, "bell should rise, slope {bell_slope}");
-        assert!(funnel_slope < 0.0, "funnel should fall, slope {funnel_slope}");
+        assert!(
+            funnel_slope < 0.0,
+            "funnel should fall, slope {funnel_slope}"
+        );
     }
 
     #[test]

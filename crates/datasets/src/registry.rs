@@ -24,27 +24,72 @@ impl std::fmt::Debug for DatasetSpec {
 /// 60–256, 2–6 classes, 36–120 series).
 pub fn default_collection() -> Vec<DatasetSpec> {
     vec![
-        DatasetSpec { name: "CBF", build: || cbf::cbf(20, 128, 101) },
-        DatasetSpec { name: "TwoPatterns", build: || two_patterns::two_patterns(15, 128, 102) },
-        DatasetSpec { name: "SyntheticControl", build: || control::synthetic_control(10, 60, 103) },
-        DatasetSpec { name: "TraceLike", build: || shapes::trace_like(15, 150, 104) },
-        DatasetSpec { name: "GunPointLike", build: || shapes::gunpoint_like(25, 120, 105) },
-        DatasetSpec { name: "EcgLike", build: || shapes::ecg_like(20, 192, 106) },
-        DatasetSpec { name: "DeviceLike", build: || shapes::device_like(20, 96, 107) },
-        DatasetSpec { name: "ChirpLike", build: || shapes::chirp_like(16, 160, 108) },
-        DatasetSpec { name: "SeismicLike", build: || shapes::seismic_like(25, 200, 109) },
-        DatasetSpec { name: "SpectroLike", build: || shapes::spectro_like(12, 256, 110) },
-        DatasetSpec { name: "CBF-small", build: || cbf::cbf(12, 64, 111) },
-        DatasetSpec { name: "TwoPatterns-long", build: || two_patterns::two_patterns(9, 256, 112) },
+        DatasetSpec {
+            name: "CBF",
+            build: || cbf::cbf(20, 128, 101),
+        },
+        DatasetSpec {
+            name: "TwoPatterns",
+            build: || two_patterns::two_patterns(15, 128, 102),
+        },
+        DatasetSpec {
+            name: "SyntheticControl",
+            build: || control::synthetic_control(10, 60, 103),
+        },
+        DatasetSpec {
+            name: "TraceLike",
+            build: || shapes::trace_like(15, 150, 104),
+        },
+        DatasetSpec {
+            name: "GunPointLike",
+            build: || shapes::gunpoint_like(25, 120, 105),
+        },
+        DatasetSpec {
+            name: "EcgLike",
+            build: || shapes::ecg_like(20, 192, 106),
+        },
+        DatasetSpec {
+            name: "DeviceLike",
+            build: || shapes::device_like(20, 96, 107),
+        },
+        DatasetSpec {
+            name: "ChirpLike",
+            build: || shapes::chirp_like(16, 160, 108),
+        },
+        DatasetSpec {
+            name: "SeismicLike",
+            build: || shapes::seismic_like(25, 200, 109),
+        },
+        DatasetSpec {
+            name: "SpectroLike",
+            build: || shapes::spectro_like(12, 256, 110),
+        },
+        DatasetSpec {
+            name: "CBF-small",
+            build: || cbf::cbf(12, 64, 111),
+        },
+        DatasetSpec {
+            name: "TwoPatterns-long",
+            build: || two_patterns::two_patterns(9, 256, 112),
+        },
     ]
 }
 
 /// A small, fast subset used by examples and smoke tests.
 pub fn quick_collection() -> Vec<DatasetSpec> {
     vec![
-        DatasetSpec { name: "CBF", build: || cbf::cbf(10, 64, 201) },
-        DatasetSpec { name: "TraceLike", build: || shapes::trace_like(8, 100, 202) },
-        DatasetSpec { name: "DeviceLike", build: || shapes::device_like(10, 96, 203) },
+        DatasetSpec {
+            name: "CBF",
+            build: || cbf::cbf(10, 64, 201),
+        },
+        DatasetSpec {
+            name: "TraceLike",
+            build: || shapes::trace_like(8, 100, 202),
+        },
+        DatasetSpec {
+            name: "DeviceLike",
+            build: || shapes::device_like(10, 96, 203),
+        },
     ]
 }
 

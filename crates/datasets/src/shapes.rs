@@ -49,185 +49,244 @@ fn build(
 /// class-specific transient — early ringing, late ringing, a slow swell or
 /// a sharp dip. Length `n`, `per_class` series per class.
 pub fn trace_like(per_class: usize, n: usize, seed: u64) -> Dataset {
-    build("TraceLike", DatasetKind::Sensor, per_class, 4, move |label, rng| {
-        let mut s = ar1(rng, n, 0.5, 0.15);
-        let jitter = rng.gen_range(-(n as f64) * 0.03..(n as f64) * 0.03);
-        match label {
-            0 => {
-                // Early damped ringing.
-                let c = n as f64 * 0.25 + jitter;
-                for (i, v) in s.iter_mut().enumerate() {
-                    let t = i as f64 - c;
-                    if t >= 0.0 {
-                        *v += 3.0 * (-t / (n as f64 * 0.08)).exp() * (t * 0.8).sin();
+    build(
+        "TraceLike",
+        DatasetKind::Sensor,
+        per_class,
+        4,
+        move |label, rng| {
+            let mut s = ar1(rng, n, 0.5, 0.15);
+            let jitter = rng.gen_range(-(n as f64) * 0.03..(n as f64) * 0.03);
+            match label {
+                0 => {
+                    // Early damped ringing.
+                    let c = n as f64 * 0.25 + jitter;
+                    for (i, v) in s.iter_mut().enumerate() {
+                        let t = i as f64 - c;
+                        if t >= 0.0 {
+                            *v += 3.0 * (-t / (n as f64 * 0.08)).exp() * (t * 0.8).sin();
+                        }
                     }
                 }
-            }
-            1 => {
-                // Late damped ringing.
-                let c = n as f64 * 0.65 + jitter;
-                for (i, v) in s.iter_mut().enumerate() {
-                    let t = i as f64 - c;
-                    if t >= 0.0 {
-                        *v += 3.0 * (-t / (n as f64 * 0.08)).exp() * (t * 0.8).sin();
+                1 => {
+                    // Late damped ringing.
+                    let c = n as f64 * 0.65 + jitter;
+                    for (i, v) in s.iter_mut().enumerate() {
+                        let t = i as f64 - c;
+                        if t >= 0.0 {
+                            *v += 3.0 * (-t / (n as f64 * 0.08)).exp() * (t * 0.8).sin();
+                        }
                     }
                 }
+                2 => {
+                    // Slow swell in the middle.
+                    add_into(
+                        &mut s,
+                        &gaussian_bump(n, n as f64 * 0.5 + jitter, n as f64 * 0.15, 2.5),
+                    );
+                }
+                _ => {
+                    // Sharp dip.
+                    add_into(
+                        &mut s,
+                        &gaussian_bump(n, n as f64 * 0.5 + jitter, n as f64 * 0.03, -4.0),
+                    );
+                }
             }
-            2 => {
-                // Slow swell in the middle.
-                add_into(&mut s, &gaussian_bump(n, n as f64 * 0.5 + jitter, n as f64 * 0.15, 2.5));
-            }
-            _ => {
-                // Sharp dip.
-                add_into(&mut s, &gaussian_bump(n, n as f64 * 0.5 + jitter, n as f64 * 0.03, -4.0));
-            }
-        }
-        s
-    }, seed)
+            s
+        },
+        seed,
+    )
 }
 
 /// Gun-point-like (2 classes): a smooth raise-hold-lower motion; class 0 is
 /// symmetric, class 1 overshoots on the way down (the "gun" dip).
 pub fn gunpoint_like(per_class: usize, n: usize, seed: u64) -> Dataset {
-    build("GunPointLike", DatasetKind::Motion, per_class, 2, move |label, rng| {
-        let rise = n as f64 * rng.gen_range(0.2..0.3);
-        let fall = n as f64 * rng.gen_range(0.7..0.8);
-        let width = n as f64 * 0.06;
-        let mut s: Vec<f64> = (0..n)
-            .map(|i| {
-                let t = i as f64;
-                let up = 1.0 / (1.0 + (-(t - rise) / width).exp());
-                let down = 1.0 / (1.0 + (-(t - fall) / width).exp());
-                2.0 * (up - down)
-            })
-            .collect();
-        if label == 1 {
-            // Overshoot dip right after lowering.
-            add_into(&mut s, &gaussian_bump(n, fall + width * 2.0, width, -0.8));
-        }
-        add_into(&mut s, &gaussian_noise(rng, n, 0.05));
-        s
-    }, seed)
+    build(
+        "GunPointLike",
+        DatasetKind::Motion,
+        per_class,
+        2,
+        move |label, rng| {
+            let rise = n as f64 * rng.gen_range(0.2..0.3);
+            let fall = n as f64 * rng.gen_range(0.7..0.8);
+            let width = n as f64 * 0.06;
+            let mut s: Vec<f64> = (0..n)
+                .map(|i| {
+                    let t = i as f64;
+                    let up = 1.0 / (1.0 + (-(t - rise) / width).exp());
+                    let down = 1.0 / (1.0 + (-(t - fall) / width).exp());
+                    2.0 * (up - down)
+                })
+                .collect();
+            if label == 1 {
+                // Overshoot dip right after lowering.
+                add_into(&mut s, &gaussian_bump(n, fall + width * 2.0, width, -0.8));
+            }
+            add_into(&mut s, &gaussian_noise(rng, n, 0.05));
+            s
+        },
+        seed,
+    )
 }
 
 /// ECG-like (3 classes): synthetic PQRST beats repeated across the series;
 /// class 0 normal, class 1 has depressed ST segments, class 2 has premature
 /// (early, wide) R peaks every other beat.
 pub fn ecg_like(per_class: usize, n: usize, seed: u64) -> Dataset {
-    build("EcgLike", DatasetKind::Ecg, per_class, 3, move |label, rng| {
-        let beat_len = (n / 4).max(24);
-        let mut s = gaussian_noise(rng, n, 0.05);
-        let mut beat_idx = 0usize;
-        let mut pos = rng.gen_range(0..beat_len / 2);
-        while pos + beat_len <= n {
-            let b = pos as f64;
-            let l = beat_len as f64;
-            // P wave, QRS complex, T wave as bumps.
-            add_into(&mut s, &gaussian_bump(n, b + 0.15 * l, 0.04 * l, 0.25));
-            add_into(&mut s, &gaussian_bump(n, b + 0.38 * l, 0.015 * l, -0.3));
-            let premature = label == 2 && beat_idx % 2 == 1;
-            let r_center = if premature { b + 0.34 * l } else { b + 0.42 * l };
-            let r_width = if premature { 0.05 * l } else { 0.025 * l };
-            add_into(&mut s, &gaussian_bump(n, r_center, r_width, 2.2));
-            add_into(&mut s, &gaussian_bump(n, b + 0.47 * l, 0.02 * l, -0.35));
-            let t_amp = 0.5;
-            add_into(&mut s, &gaussian_bump(n, b + 0.68 * l, 0.07 * l, t_amp));
-            if label == 1 {
-                // ST depression between QRS and T.
-                add_into(&mut s, &gaussian_bump(n, b + 0.56 * l, 0.06 * l, -0.45));
+    build(
+        "EcgLike",
+        DatasetKind::Ecg,
+        per_class,
+        3,
+        move |label, rng| {
+            let beat_len = (n / 4).max(24);
+            let mut s = gaussian_noise(rng, n, 0.05);
+            let mut beat_idx = 0usize;
+            let mut pos = rng.gen_range(0..beat_len / 2);
+            while pos + beat_len <= n {
+                let b = pos as f64;
+                let l = beat_len as f64;
+                // P wave, QRS complex, T wave as bumps.
+                add_into(&mut s, &gaussian_bump(n, b + 0.15 * l, 0.04 * l, 0.25));
+                add_into(&mut s, &gaussian_bump(n, b + 0.38 * l, 0.015 * l, -0.3));
+                let premature = label == 2 && beat_idx % 2 == 1;
+                let r_center = if premature {
+                    b + 0.34 * l
+                } else {
+                    b + 0.42 * l
+                };
+                let r_width = if premature { 0.05 * l } else { 0.025 * l };
+                add_into(&mut s, &gaussian_bump(n, r_center, r_width, 2.2));
+                add_into(&mut s, &gaussian_bump(n, b + 0.47 * l, 0.02 * l, -0.35));
+                let t_amp = 0.5;
+                add_into(&mut s, &gaussian_bump(n, b + 0.68 * l, 0.07 * l, t_amp));
+                if label == 1 {
+                    // ST depression between QRS and T.
+                    add_into(&mut s, &gaussian_bump(n, b + 0.56 * l, 0.06 * l, -0.45));
+                }
+                beat_idx += 1;
+                pos += beat_len;
             }
-            beat_idx += 1;
-            pos += beat_len;
-        }
-        s
-    }, seed)
+            s
+        },
+        seed,
+    )
 }
 
 /// Device-like (3 classes): base load plus class-specific on/off blocks —
 /// morning block, evening block, or twin short spikes.
 pub fn device_like(per_class: usize, n: usize, seed: u64) -> Dataset {
-    build("DeviceLike", DatasetKind::Device, per_class, 3, move |label, rng| {
-        let mut s: Vec<f64> = gaussian_noise(rng, n, 0.1);
-        for v in s.iter_mut() {
-            *v += 0.5; // standby load
-        }
-        let block = |s: &mut Vec<f64>, from: usize, to: usize, level: f64| {
-            for v in s[from..to.min(n)].iter_mut() {
-                *v += level;
+    build(
+        "DeviceLike",
+        DatasetKind::Device,
+        per_class,
+        3,
+        move |label, rng| {
+            let mut s: Vec<f64> = gaussian_noise(rng, n, 0.1);
+            for v in s.iter_mut() {
+                *v += 0.5; // standby load
             }
-        };
-        let j = rng.gen_range(0..n / 12 + 1);
-        match label {
-            0 => block(&mut s, n / 6 + j, n / 2 + j, 2.0),
-            1 => block(&mut s, n / 2 + j, 5 * n / 6 + j, 2.0),
-            _ => {
-                block(&mut s, n / 5 + j, n / 5 + n / 12 + j, 3.0);
-                block(&mut s, 3 * n / 5 + j, 3 * n / 5 + n / 12 + j, 3.0);
+            let block = |s: &mut Vec<f64>, from: usize, to: usize, level: f64| {
+                for v in s[from..to.min(n)].iter_mut() {
+                    *v += level;
+                }
+            };
+            let j = rng.gen_range(0..n / 12 + 1);
+            match label {
+                0 => block(&mut s, n / 6 + j, n / 2 + j, 2.0),
+                1 => block(&mut s, n / 2 + j, 5 * n / 6 + j, 2.0),
+                _ => {
+                    block(&mut s, n / 5 + j, n / 5 + n / 12 + j, 3.0);
+                    block(&mut s, 3 * n / 5 + j, 3 * n / 5 + n / 12 + j, 3.0);
+                }
             }
-        }
-        s
-    }, seed)
+            s
+        },
+        seed,
+    )
 }
 
 /// Chirp-like (3 classes): linear frequency sweeps with class-specific
 /// start/end frequencies (slow→slow, slow→fast, fast→slow).
 pub fn chirp_like(per_class: usize, n: usize, seed: u64) -> Dataset {
-    build("ChirpLike", DatasetKind::Sensor, per_class, 3, move |label, rng| {
-        let (f0, f1) = match label {
-            0 => (0.02, 0.05),
-            1 => (0.02, 0.25),
-            _ => (0.25, 0.02),
-        };
-        let phase0 = rng.gen_range(0.0..std::f64::consts::TAU);
-        let mut phase = phase0;
-        let mut s = Vec::with_capacity(n);
-        for i in 0..n {
-            let frac = i as f64 / n as f64;
-            let f = f0 + (f1 - f0) * frac;
-            phase += std::f64::consts::TAU * f;
-            s.push(phase.sin() + randn(rng) * 0.1);
-        }
-        s
-    }, seed)
+    build(
+        "ChirpLike",
+        DatasetKind::Sensor,
+        per_class,
+        3,
+        move |label, rng| {
+            let (f0, f1) = match label {
+                0 => (0.02, 0.05),
+                1 => (0.02, 0.25),
+                _ => (0.25, 0.02),
+            };
+            let phase0 = rng.gen_range(0.0..std::f64::consts::TAU);
+            let mut phase = phase0;
+            let mut s = Vec::with_capacity(n);
+            for i in 0..n {
+                let frac = i as f64 / n as f64;
+                let f = f0 + (f1 - f0) * frac;
+                phase += std::f64::consts::TAU * f;
+                s.push(phase.sin() + randn(rng) * 0.1);
+            }
+            s
+        },
+        seed,
+    )
 }
 
 /// Seismic-like (2 classes): a drifting random walk; class 1 additionally
 /// carries a burst of high-frequency energy at a random position.
 pub fn seismic_like(per_class: usize, n: usize, seed: u64) -> Dataset {
-    build("SeismicLike", DatasetKind::Sensor, per_class, 2, move |label, rng| {
-        let mut s = random_walk(rng, n, 0.3);
-        if label == 1 {
-            let onset = rng.gen_range(n / 4..3 * n / 4);
-            let dur = n / 6;
-            for (t, v) in s[onset..(onset + dur).min(n)].iter_mut().enumerate() {
-                let t = t as f64;
-                let envelope = (-t / (dur as f64 / 3.0)).exp();
-                *v += 4.0 * envelope * (t * 1.9).sin();
+    build(
+        "SeismicLike",
+        DatasetKind::Sensor,
+        per_class,
+        2,
+        move |label, rng| {
+            let mut s = random_walk(rng, n, 0.3);
+            if label == 1 {
+                let onset = rng.gen_range(n / 4..3 * n / 4);
+                let dur = n / 6;
+                for (t, v) in s[onset..(onset + dur).min(n)].iter_mut().enumerate() {
+                    let t = t as f64;
+                    let envelope = (-t / (dur as f64 / 3.0)).exp();
+                    *v += 4.0 * envelope * (t * 1.9).sin();
+                }
             }
-        }
-        s
-    }, seed)
+            s
+        },
+        seed,
+    )
 }
 
 /// Spectro-like (4 classes): smooth absorption curves — mixtures of 2–3
 /// Gaussian "bands" whose positions are class-specific.
 pub fn spectro_like(per_class: usize, n: usize, seed: u64) -> Dataset {
-    build("SpectroLike", DatasetKind::Spectro, per_class, 4, move |label, rng| {
-        let mut s = gaussian_noise(rng, n, 0.02);
-        let nf = n as f64;
-        let bands: &[(f64, f64, f64)] = match label {
-            0 => &[(0.25, 0.05, 1.0), (0.7, 0.08, 0.6)],
-            1 => &[(0.35, 0.05, 1.0), (0.7, 0.08, 0.6)],
-            2 => &[(0.25, 0.05, 1.0), (0.55, 0.04, 0.9)],
-            _ => &[(0.5, 0.12, 0.8)],
-        };
-        for &(c, w, a) in bands {
-            let jc = c + rng.gen_range(-0.02..0.02);
-            let amp = a * rng.gen_range(0.85..1.15);
-            add_into(&mut s, &gaussian_bump(n, jc * nf, w * nf, amp));
-        }
-        s
-    }, seed)
+    build(
+        "SpectroLike",
+        DatasetKind::Spectro,
+        per_class,
+        4,
+        move |label, rng| {
+            let mut s = gaussian_noise(rng, n, 0.02);
+            let nf = n as f64;
+            let bands: &[(f64, f64, f64)] = match label {
+                0 => &[(0.25, 0.05, 1.0), (0.7, 0.08, 0.6)],
+                1 => &[(0.35, 0.05, 1.0), (0.7, 0.08, 0.6)],
+                2 => &[(0.25, 0.05, 1.0), (0.55, 0.04, 0.9)],
+                _ => &[(0.5, 0.12, 0.8)],
+            };
+            for &(c, w, a) in bands {
+                let jc = c + rng.gen_range(-0.02..0.02);
+                let amp = a * rng.gen_range(0.85..1.15);
+                add_into(&mut s, &gaussian_bump(n, jc * nf, w * nf, amp));
+            }
+            s
+        },
+        seed,
+    )
 }
 
 #[cfg(test)]
@@ -260,7 +319,10 @@ mod tests {
                 "{name} not deterministic"
             );
             for s in a.series() {
-                assert!(s.values().iter().all(|v| v.is_finite()), "{name} non-finite");
+                assert!(
+                    s.values().iter().all(|v| v.is_finite()),
+                    "{name} non-finite"
+                );
             }
         }
     }
@@ -339,9 +401,8 @@ mod tests {
     #[test]
     fn seismic_burst_increases_roughness() {
         let d = seismic_like(15, 128, 0);
-        let roughness = |xs: &[f64]| -> f64 {
-            xs.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>()
-        };
+        let roughness =
+            |xs: &[f64]| -> f64 { xs.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>() };
         let mut r0 = 0.0;
         let mut r1 = 0.0;
         for (s, &l) in d.series().iter().zip(d.labels().unwrap()) {
@@ -365,7 +426,10 @@ mod tests {
                 .windows(2)
                 .map(|w| (w[1] - w[0]).abs())
                 .fold(0.0f64, f64::max);
-            assert!(max_delta < range * 0.5, "not smooth: {max_delta} vs {range}");
+            assert!(
+                max_delta < range * 0.5,
+                "not smooth: {max_delta} vs {range}"
+            );
         }
     }
 }

@@ -58,7 +58,12 @@ pub fn two_patterns_series(class: TpClass, n: usize, rng: &mut StdRng) -> Vec<f6
 /// Generates a balanced Two-Patterns dataset (`per_class` × 4 series).
 pub fn two_patterns(per_class: usize, n: usize, seed: u64) -> Dataset {
     let mut rng = StdRng::seed_from_u64(seed);
-    let classes = [TpClass::UpUp, TpClass::UpDown, TpClass::DownUp, TpClass::DownDown];
+    let classes = [
+        TpClass::UpUp,
+        TpClass::UpDown,
+        TpClass::DownUp,
+        TpClass::DownDown,
+    ];
     let mut series = Vec::with_capacity(per_class * 4);
     let mut labels = Vec::with_capacity(per_class * 4);
     for rep in 0..per_class {

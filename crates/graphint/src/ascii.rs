@@ -65,8 +65,15 @@ pub fn bar_chart(entries: &[(String, f64)], width: usize) -> String {
     if entries.is_empty() {
         return String::new();
     }
-    let label_w = entries.iter().map(|(l, _)| l.chars().count()).max().unwrap_or(0);
-    let max = entries.iter().map(|(_, v)| *v).fold(f64::NEG_INFINITY, f64::max);
+    let label_w = entries
+        .iter()
+        .map(|(l, _)| l.chars().count())
+        .max()
+        .unwrap_or(0);
+    let max = entries
+        .iter()
+        .map(|(_, v)| *v)
+        .fold(f64::NEG_INFINITY, f64::max);
     let max = if max <= 0.0 { 1.0 } else { max };
     let mut out = String::new();
     for (label, value) in entries {

@@ -54,9 +54,18 @@ pub fn run(args: &[String]) -> i32 {
             let frame = ComparisonFrame::build(
                 ds,
                 &[
-                    MethodPartition { name: "k-Graph".into(), labels: model.labels.clone() },
-                    MethodPartition { name: "k-Means".into(), labels: kmeans },
-                    MethodPartition { name: "k-Shape".into(), labels: kshape },
+                    MethodPartition {
+                        name: "k-Graph".into(),
+                        labels: model.labels.clone(),
+                    },
+                    MethodPartition {
+                        name: "k-Means".into(),
+                        labels: kmeans,
+                    },
+                    MethodPartition {
+                        name: "k-Shape".into(),
+                        labels: kshape,
+                    },
                 ],
             );
             println!("{}", frame.summary());
@@ -69,13 +78,23 @@ pub fn run(args: &[String]) -> i32 {
                 frame.lambda,
                 frame.gamma
             );
-            println!("coloured nodes per cluster: {:?}", frame.colored_nodes_per_cluster());
+            println!(
+                "coloured nodes per cluster: {:?}",
+                frame.colored_nodes_per_cluster()
+            );
         }),
         Some("quiz") => {
             let trials: usize = args.get(2).and_then(|t| t.parse().ok()).unwrap_or(10);
             with_dataset(args.get(1), move |ds, _| {
                 let k = ds.n_classes().max(2);
-                let frame = QuizFrame::run(ds, QuizConfig { trials, ..QuizConfig::new(k, 3) }, None);
+                let frame = QuizFrame::run(
+                    ds,
+                    QuizConfig {
+                        trials,
+                        ..QuizConfig::new(k, 3)
+                    },
+                    None,
+                );
                 println!("{}", frame.summary());
             })
         }
@@ -94,8 +113,14 @@ pub fn run(args: &[String]) -> i32 {
                 let comparison = ComparisonFrame::build(
                     ds,
                     &[
-                        MethodPartition { name: "k-Graph".into(), labels: model.labels.clone() },
-                        MethodPartition { name: "k-Means".into(), labels: kmeans },
+                        MethodPartition {
+                            name: "k-Graph".into(),
+                            labels: model.labels.clone(),
+                        },
+                        MethodPartition {
+                            name: "k-Means".into(),
+                            labels: kmeans,
+                        },
                     ],
                 );
                 let graph_frame = GraphFrame::with_auto_thresholds(model);
@@ -138,7 +163,11 @@ fn with_dataset(name: Option<&String>, f: impl FnOnce(&Dataset, &KGraphModel)) -
         return 2;
     };
     let k = dataset.n_classes().max(2);
-    let cfg = KGraphConfig { n_lengths: 4, psi: 20, ..KGraphConfig::new(k).with_seed(3) };
+    let cfg = KGraphConfig {
+        n_lengths: 4,
+        psi: 20,
+        ..KGraphConfig::new(k).with_seed(3)
+    };
     let model = KGraph::new(cfg).fit(&dataset);
     f(&dataset, &model);
     0

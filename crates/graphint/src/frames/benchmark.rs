@@ -160,7 +160,12 @@ impl BenchmarkFrame {
     /// Renders the frame's box plot for one measure + filter; methods with
     /// no surviving records are dropped. `highlight` names the method drawn
     /// in colour (Graphint highlights k-Graph).
-    pub fn render_boxplot(&self, measure: Measure, filter: &Filter, highlight: Option<&str>) -> String {
+    pub fn render_boxplot(
+        &self,
+        measure: Measure,
+        filter: &Filter,
+        highlight: Option<&str>,
+    ) -> String {
         let mut plot = BoxPlot::new(
             format!("Benchmark ({} over filtered datasets)", measure.name()),
             measure.name(),
@@ -191,11 +196,21 @@ impl BenchmarkFrame {
         let table: Vec<Vec<String>> = rows
             .into_iter()
             .map(|(m, mean, median, n)| {
-                vec![m, format!("{mean:.3}"), format!("{median:.3}"), n.to_string()]
+                vec![
+                    m,
+                    format!("{mean:.3}"),
+                    format!("{median:.3}"),
+                    n.to_string(),
+                ]
             })
             .collect();
         render_table(
-            &["method", &format!("mean {}", measure.name()), "median", "#datasets"],
+            &[
+                "method",
+                &format!("mean {}", measure.name()),
+                "median",
+                "#datasets",
+            ],
             &table,
         )
     }
@@ -246,7 +261,10 @@ mod tests {
 
     #[test]
     fn methods_in_order() {
-        assert_eq!(frame().methods(), vec!["k-Graph".to_string(), "k-Means".to_string()]);
+        assert_eq!(
+            frame().methods(),
+            vec!["k-Graph".to_string(), "k-Means".to_string()]
+        );
     }
 
     #[test]
@@ -270,7 +288,10 @@ mod tests {
     #[test]
     fn kind_filter() {
         let f = frame();
-        let filter = Filter { kinds: Some(vec![DatasetKind::Ecg]), ..Default::default() };
+        let filter = Filter {
+            kinds: Some(vec![DatasetKind::Ecg]),
+            ..Default::default()
+        };
         let scores = f.scores_by_method(Measure::Ari, &filter);
         assert_eq!(scores[0].1, vec![0.7]);
     }
@@ -278,11 +299,20 @@ mod tests {
     #[test]
     fn range_filters() {
         let f = frame();
-        let too_long = Filter { length: Some((200, 300)), ..Default::default() };
+        let too_long = Filter {
+            length: Some((200, 300)),
+            ..Default::default()
+        };
         assert!(f.scores_by_method(Measure::Ari, &too_long)[0].1.is_empty());
-        let class_band = Filter { classes: Some((2, 3)), ..Default::default() };
+        let class_band = Filter {
+            classes: Some((2, 3)),
+            ..Default::default()
+        };
         assert_eq!(f.scores_by_method(Measure::Ari, &class_band)[0].1.len(), 2);
-        let size_band = Filter { n_series: Some((0, 10)), ..Default::default() };
+        let size_band = Filter {
+            n_series: Some((0, 10)),
+            ..Default::default()
+        };
         assert!(f.scores_by_method(Measure::Ari, &size_band)[0].1.is_empty());
     }
 
@@ -308,7 +338,13 @@ mod tests {
     #[test]
     fn mean_score_lookup() {
         let f = frame();
-        assert_eq!(f.mean_score("k-Graph", Measure::Ari, &Filter::default()), Some(0.8));
-        assert_eq!(f.mean_score("missing", Measure::Ari, &Filter::default()), None);
+        assert_eq!(
+            f.mean_score("k-Graph", Measure::Ari, &Filter::default()),
+            Some(0.8)
+        );
+        assert_eq!(
+            f.mean_score("missing", Measure::Ari, &Filter::default()),
+            None
+        );
     }
 }

@@ -34,7 +34,9 @@ impl ComparisonFrame {
     /// Builds the frame. The dataset must be labelled; every partition must
     /// cover the dataset.
     pub fn build(dataset: &Dataset, methods: &[MethodPartition]) -> ComparisonFrame {
-        let truth = dataset.labels().expect("comparison frame needs true labels");
+        let truth = dataset
+            .labels()
+            .expect("comparison frame needs true labels");
         let mut aris = Vec::with_capacity(methods.len());
         let mut panels = Vec::with_capacity(methods.len() + 1);
         for m in methods {
@@ -43,18 +45,18 @@ impl ComparisonFrame {
             aris.push((m.name.clone(), ari));
             panels.push((
                 m.name.clone(),
-                render_partition_panel(
-                    dataset,
-                    &m.labels,
-                    &format!("{} (ARI {:.3})", m.name, ari),
-                ),
+                render_partition_panel(dataset, &m.labels, &format!("{} (ARI {:.3})", m.name, ari)),
             ));
         }
         panels.push((
             "true labels".to_string(),
             render_partition_panel(dataset, truth, "True labels"),
         ));
-        ComparisonFrame { dataset_name: dataset.name().to_string(), aris, panels }
+        ComparisonFrame {
+            dataset_name: dataset.name().to_string(),
+            aris,
+            panels,
+        }
     }
 
     /// Text summary: methods ranked by ARI.
@@ -88,11 +90,25 @@ pub fn render_partition_panel(dataset: &Dataset, labels: &[usize], title: &str) 
         let top = 26.0 + band_h * c as f64;
         let bottom = top + band_h - 12.0;
         doc.rect(40.0, top, w - 54.0, band_h - 12.0, "#fafafa", "#dddddd");
-        doc.text(8.0, (top + bottom) / 2.0, &format!("C{c}"), 10.0, "start", "#333333");
+        doc.text(
+            8.0,
+            (top + bottom) / 2.0,
+            &format!("C{c}"),
+            10.0,
+            "start",
+            "#333333",
+        );
         // Global y-range of members keeps bands comparable.
         let members: Vec<usize> = (0..dataset.len()).filter(|&i| labels[i] == c).collect();
         if members.is_empty() {
-            doc.text(w / 2.0, (top + bottom) / 2.0, "(empty)", 9.0, "middle", "#999999");
+            doc.text(
+                w / 2.0,
+                (top + bottom) / 2.0,
+                "(empty)",
+                9.0,
+                "middle",
+                "#999999",
+            );
             continue;
         }
         let mut lo = f64::INFINITY;
@@ -130,7 +146,9 @@ mod tests {
         for (label, base) in [0.0f64, 5.0].into_iter().enumerate() {
             for p in 0..4 {
                 series.push(TimeSeries::new(
-                    (0..30).map(|i| base + ((i + p) as f64 * 0.4).sin()).collect(),
+                    (0..30)
+                        .map(|i| base + ((i + p) as f64 * 0.4).sin())
+                        .collect(),
                 ));
                 labels.push(label);
             }
@@ -146,8 +164,14 @@ mod tests {
         let frame = ComparisonFrame::build(
             &ds,
             &[
-                MethodPartition { name: "good".into(), labels: perfect },
-                MethodPartition { name: "bad".into(), labels: broken },
+                MethodPartition {
+                    name: "good".into(),
+                    labels: perfect,
+                },
+                MethodPartition {
+                    name: "bad".into(),
+                    labels: broken,
+                },
             ],
         );
         assert_eq!(frame.panels.len(), 3); // 2 methods + truth
@@ -165,8 +189,14 @@ mod tests {
         let frame = ComparisonFrame::build(
             &ds,
             &[
-                MethodPartition { name: "bad".into(), labels: broken },
-                MethodPartition { name: "good".into(), labels: perfect },
+                MethodPartition {
+                    name: "bad".into(),
+                    labels: broken,
+                },
+                MethodPartition {
+                    name: "good".into(),
+                    labels: perfect,
+                },
             ],
         );
         let s = frame.summary();
@@ -198,7 +228,10 @@ mod tests {
         let ds = toy();
         ComparisonFrame::build(
             &ds,
-            &[MethodPartition { name: "x".into(), labels: vec![0, 1] }],
+            &[MethodPartition {
+                name: "x".into(),
+                labels: vec![0, 1],
+            }],
         );
     }
 }

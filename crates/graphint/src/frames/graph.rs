@@ -41,7 +41,12 @@ pub struct GraphFrame<'a> {
 impl<'a> GraphFrame<'a> {
     /// Creates the frame with explicit thresholds.
     pub fn new(model: &'a KGraphModel, lambda: f64, gamma: f64) -> Self {
-        GraphFrame { stats: model.best_stats(), model, lambda, gamma }
+        GraphFrame {
+            stats: model.best_stats(),
+            model,
+            lambda,
+            gamma,
+        }
     }
 
     /// Creates the frame with automatically searched thresholds
@@ -49,7 +54,12 @@ impl<'a> GraphFrame<'a> {
     pub fn with_auto_thresholds(model: &'a KGraphModel) -> Self {
         let stats = model.best_stats();
         let (lambda, gamma) = kgraph::graphoid::auto_thresholds(&stats, model.best(), 20);
-        GraphFrame { stats, model, lambda, gamma }
+        GraphFrame {
+            stats,
+            model,
+            lambda,
+            gamma,
+        }
     }
 
     /// The crossing statistics in use.
@@ -75,7 +85,9 @@ impl<'a> GraphFrame<'a> {
             representativity: (0..k)
                 .map(|c| self.stats.node_representativity(c, node))
                 .collect(),
-            exclusivity: (0..k).map(|c| self.stats.node_exclusivity(c, node)).collect(),
+            exclusivity: (0..k)
+                .map(|c| self.stats.node_exclusivity(c, node))
+                .collect(),
         }
     }
 
@@ -107,7 +119,12 @@ impl<'a> GraphFrame<'a> {
     }
 
     /// Renders `series_idx` with the subsequences of `node` highlighted.
-    pub fn render_highlighted_series(&self, series_idx: usize, node: usize, dataset: &tscore::Dataset) -> String {
+    pub fn render_highlighted_series(
+        &self,
+        series_idx: usize,
+        node: usize,
+        dataset: &tscore::Dataset,
+    ) -> String {
         let values = dataset.series()[series_idx].values();
         let windows = self.node_windows(series_idx, node);
         let w = 560.0;
@@ -156,7 +173,8 @@ impl<'a> GraphFrame<'a> {
 
     /// Node exploration order: PageRank over the transition weights,
     /// most central patterns first. This is the order in which the frame
-    /// suggests nodes to inspect.
+    /// suggests nodes to inspect. Runs CSR-native — the push loop walks
+    /// each node's contiguous target/weight slices.
     pub fn exploration_order(&self) -> Vec<usize> {
         let g = &self.model.best().graph;
         let pr = tsgraph::algo::pagerank(g, 0.85, 60, |&w: &f64| w);
@@ -173,7 +191,14 @@ fn render_cluster_histogram(detail: &NodeDetail) -> String {
     let h = 160.0;
     let mut doc = SvgDoc::new(w, h);
     doc.rect(0.0, 0.0, w, h, "#ffffff", "none");
-    doc.text(w / 2.0, 14.0, "representativity / exclusivity", 10.0, "middle", "#111111");
+    doc.text(
+        w / 2.0,
+        14.0,
+        "representativity / exclusivity",
+        10.0,
+        "middle",
+        "#111111",
+    );
     let band = (w - 40.0) / k as f64;
     let base = h - 24.0;
     let scale = base - 30.0;
@@ -181,7 +206,14 @@ fn render_cluster_histogram(detail: &NodeDetail) -> String {
         let x = 24.0 + band * c as f64;
         let r = detail.representativity[c];
         let e = detail.exclusivity[c];
-        doc.rect(x, base - r * scale, band * 0.3, r * scale, category_color(c), "none");
+        doc.rect(
+            x,
+            base - r * scale,
+            band * 0.3,
+            r * scale,
+            category_color(c),
+            "none",
+        );
         doc.rect(
             x + band * 0.35,
             base - e * scale,
@@ -190,7 +222,14 @@ fn render_cluster_histogram(detail: &NodeDetail) -> String {
             "#999999",
             "none",
         );
-        doc.text(x + band * 0.3, base + 12.0, &format!("C{c}"), 9.0, "middle", "#333333");
+        doc.text(
+            x + band * 0.3,
+            base + 12.0,
+            &format!("C{c}"),
+            9.0,
+            "middle",
+            "#333333",
+        );
     }
     doc.finish()
 }
@@ -258,7 +297,10 @@ mod tests {
         let node = model.best().paths[0][0].index();
         let windows = frame.node_windows(0, node);
         assert!(!windows.is_empty());
-        assert!(windows.iter().any(|&(s, _)| s == 0), "first window starts at 0");
+        assert!(
+            windows.iter().any(|&(s, _)| s == 0),
+            "first window starts at 0"
+        );
         for (start, len) in windows {
             assert_eq!(len, model.best_length());
             assert!(start + len <= 80);

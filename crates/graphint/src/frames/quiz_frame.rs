@@ -33,7 +33,14 @@ pub struct QuizConfig {
 impl QuizConfig {
     /// Demo-faithful defaults: 5 questions, 20 trials, moderate noise.
     pub fn new(k: usize, seed: u64) -> Self {
-        QuizConfig { k, questions: 5, trials: 20, noise: 0.35, gamma: 0.7, seed }
+        QuizConfig {
+            k,
+            questions: 5,
+            trials: 20,
+            noise: 0.35,
+            gamma: 0.7,
+            seed,
+        }
     }
 }
 
@@ -69,7 +76,10 @@ impl QuizFrame {
     /// against k-Means, the same against k-Shape, and a graph user against
     /// k-Graph — all with the same noise budget and trial seed.
     pub fn run(dataset: &Dataset, cfg: QuizConfig, kgraph_cfg: Option<KGraphConfig>) -> QuizFrame {
-        assert!(cfg.questions <= dataset.len(), "dataset too small for the quiz");
+        assert!(
+            cfg.questions <= dataset.len(),
+            "dataset too small for the quiz"
+        );
         let rows = dataset.znormed_rows();
         let kmeans = KMeans::new(cfg.k, cfg.seed).fit(&rows);
         let kshape = KShape::new(cfg.k, cfg.seed).fit(&rows);
@@ -82,18 +92,44 @@ impl QuizFrame {
         for t in 0..cfg.trials {
             let trial_seed = cfg.seed.wrapping_add(1 + t as u64);
             let quiz = Quiz::generate(dataset.len(), cfg.questions, trial_seed);
-            let cu = CentroidUser { noise: cfg.noise, seed: trial_seed };
-            km_scores.push(score_fraction(cu.run(dataset, &kmeans.labels, &kmeans.centroids, &quiz)));
-            ks_scores.push(score_fraction(cu.run(dataset, &kshape.labels, &kshape.centroids, &quiz)));
-            let gu = GraphUser { noise: cfg.noise, seed: trial_seed, gamma: cfg.gamma };
+            let cu = CentroidUser {
+                noise: cfg.noise,
+                seed: trial_seed,
+            };
+            km_scores.push(score_fraction(cu.run(
+                dataset,
+                &kmeans.labels,
+                &kmeans.centroids,
+                &quiz,
+            )));
+            ks_scores.push(score_fraction(cu.run(
+                dataset,
+                &kshape.labels,
+                &kshape.centroids,
+                &quiz,
+            )));
+            let gu = GraphUser {
+                noise: cfg.noise,
+                seed: trial_seed,
+                gamma: cfg.gamma,
+            };
             kg_scores.push(score_fraction(gu.run(&model, &quiz)));
         }
         QuizFrame {
             dataset_name: dataset.name().to_string(),
             scores: vec![
-                MethodQuizScores { method: "k-Means (centroid)".into(), fractions: km_scores },
-                MethodQuizScores { method: "k-Shape (centroid)".into(), fractions: ks_scores },
-                MethodQuizScores { method: "k-Graph (graph)".into(), fractions: kg_scores },
+                MethodQuizScores {
+                    method: "k-Means (centroid)".into(),
+                    fractions: km_scores,
+                },
+                MethodQuizScores {
+                    method: "k-Shape (centroid)".into(),
+                    fractions: ks_scores,
+                },
+                MethodQuizScores {
+                    method: "k-Graph (graph)".into(),
+                    fractions: kg_scores,
+                },
             ],
         }
     }
@@ -119,8 +155,11 @@ impl QuizFrame {
                 ]
             })
             .collect();
-        let bars: Vec<(String, f64)> =
-            self.scores.iter().map(|s| (s.method.clone(), s.mean())).collect();
+        let bars: Vec<(String, f64)> = self
+            .scores
+            .iter()
+            .map(|s| (s.method.clone(), s.mean()))
+            .collect();
         format!(
             "Interpretability test on {} (simulated users)\n{}\n{}",
             self.dataset_name,
@@ -185,7 +224,10 @@ mod tests {
     #[test]
     fn runs_three_methods() {
         let ds = motif_dataset();
-        let cfg = QuizConfig { trials: 4, ..QuizConfig::new(2, 0) };
+        let cfg = QuizConfig {
+            trials: 4,
+            ..QuizConfig::new(2, 0)
+        };
         let frame = QuizFrame::run(&ds, cfg, Some(quick_kg(2, 0)));
         assert_eq!(frame.scores.len(), 3);
         for s in &frame.scores {
@@ -197,7 +239,10 @@ mod tests {
     #[test]
     fn summary_contains_all_methods() {
         let ds = motif_dataset();
-        let cfg = QuizConfig { trials: 2, ..QuizConfig::new(2, 1) };
+        let cfg = QuizConfig {
+            trials: 2,
+            ..QuizConfig::new(2, 1)
+        };
         let frame = QuizFrame::run(&ds, cfg, Some(quick_kg(2, 1)));
         let s = frame.summary();
         assert!(s.contains("k-Means"));
@@ -211,7 +256,10 @@ mod tests {
     #[test]
     fn deterministic() {
         let ds = motif_dataset();
-        let cfg = QuizConfig { trials: 3, ..QuizConfig::new(2, 5) };
+        let cfg = QuizConfig {
+            trials: 3,
+            ..QuizConfig::new(2, 5)
+        };
         let a = QuizFrame::run(&ds, cfg, Some(quick_kg(2, 5)));
         let b = QuizFrame::run(&ds, cfg, Some(quick_kg(2, 5)));
         for (x, y) in a.scores.iter().zip(&b.scores) {

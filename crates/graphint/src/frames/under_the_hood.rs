@@ -69,7 +69,9 @@ impl<'a> UnderTheHoodFrame<'a> {
         });
         let best = self.model.best_length() as f64;
         let _ = lengths; // lengths used implicitly through the series
-        chart.vlines.push((best, format!("selected ℓ = {}", self.model.best_length())));
+        chart
+            .vlines
+            .push((best, format!("selected ℓ = {}", self.model.best_length())));
         chart.render()
     }
 
@@ -137,7 +139,11 @@ impl<'a> UnderTheHoodFrame<'a> {
                     format!("{:.3}", s.wc),
                     format!("{:.3}", s.we),
                     format!("{:.3}", s.product()),
-                    if i == self.model.best_layer { "<- selected".into() } else { String::new() },
+                    if i == self.model.best_layer {
+                        "<- selected".into()
+                    } else {
+                        String::new()
+                    },
                 ]
             })
             .collect();

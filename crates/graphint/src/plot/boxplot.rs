@@ -18,7 +18,11 @@ pub struct Box {
 impl Box {
     /// Builds a box from raw samples.
     pub fn from_samples(label: impl Into<String>, samples: &[f64]) -> Self {
-        Box { label: label.into(), summary: five_number_summary(samples), n: samples.len() }
+        Box {
+            label: label.into(),
+            summary: five_number_summary(samples),
+            n: samples.len(),
+        }
     }
 }
 
@@ -84,7 +88,14 @@ impl BoxPlot {
                 continue;
             }
             doc.line(left - 4.0, py, left, py, "#333333", 1.0);
-            doc.text(left - 6.0, py + 3.0, &crate::svg::format_tick(t), 9.0, "end", "#333333");
+            doc.text(
+                left - 6.0,
+                py + 3.0,
+                &crate::svg::format_tick(t),
+                9.0,
+                "end",
+                "#333333",
+            );
             doc.dashed_line(left, py, right, py, "#eeeeee", 0.6);
         }
         if !self.y_label.is_empty() {
@@ -107,15 +118,27 @@ impl BoxPlot {
                 "#bbbbbb".to_string()
             };
             let (mn, q1, md, q3, mx) = b.summary;
-            let (y_mn, y_q1, y_md, y_q3, y_mx) =
-                (ys.apply(mn), ys.apply(q1), ys.apply(md), ys.apply(q3), ys.apply(mx));
+            let (y_mn, y_q1, y_md, y_q3, y_mx) = (
+                ys.apply(mn),
+                ys.apply(q1),
+                ys.apply(md),
+                ys.apply(q3),
+                ys.apply(mx),
+            );
             // Whiskers.
             doc.line(cx, y_mn, cx, y_q1, &color, 1.0);
             doc.line(cx, y_q3, cx, y_mx, &color, 1.0);
             doc.line(cx - box_w / 4.0, y_mn, cx + box_w / 4.0, y_mn, &color, 1.0);
             doc.line(cx - box_w / 4.0, y_mx, cx + box_w / 4.0, y_mx, &color, 1.0);
             // Box + median.
-            doc.rect(cx - box_w / 2.0, y_q3, box_w, (y_q1 - y_q3).max(0.5), "none", &color);
+            doc.rect(
+                cx - box_w / 2.0,
+                y_q3,
+                box_w,
+                (y_q1 - y_q3).max(0.5),
+                "none",
+                &color,
+            );
             doc.line(cx - box_w / 2.0, y_md, cx + box_w / 2.0, y_md, &color, 2.0);
             // Rotated label.
             doc.raw(&format!(

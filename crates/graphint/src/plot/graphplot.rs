@@ -5,6 +5,10 @@
 //! muted grey, exactly like the demo's "nodes and edges are colored if
 //! their representativity and exclusivity exceed the values the user
 //! selects".
+//!
+//! The renderer reads the layer's CSR view: edge iteration order is
+//! deterministic ((source, target)-sorted), so the emitted SVG is
+//! byte-stable across re-renders of the same model.
 
 use crate::color::{category_color, MUTED};
 use crate::svg::SvgDoc;
@@ -53,10 +57,9 @@ impl<'a> GraphPlot<'a> {
         for c in 0..self.stats.k {
             let repr = self.stats.node_representativity(c, n);
             let excl = self.stats.node_exclusivity(c, n);
-            if repr >= self.lambda && excl >= self.gamma
-                && best.is_none_or(|(_, e)| excl > e) {
-                    best = Some((c, excl));
-                }
+            if repr >= self.lambda && excl >= self.gamma && best.is_none_or(|(_, e)| excl > e) {
+                best = Some((c, excl));
+            }
         }
         best.map(|(c, _)| c)
     }
@@ -67,10 +70,9 @@ impl<'a> GraphPlot<'a> {
         for c in 0..self.stats.k {
             let repr = self.stats.edge_representativity(c, e);
             let excl = self.stats.edge_exclusivity(c, e);
-            if repr >= self.lambda && excl >= self.gamma
-                && best.is_none_or(|(_, x)| excl > x) {
-                    best = Some((c, excl));
-                }
+            if repr >= self.lambda && excl >= self.gamma && best.is_none_or(|(_, x)| excl > x) {
+                best = Some((c, excl));
+            }
         }
         best.map(|(c, _)| c)
     }
@@ -86,7 +88,13 @@ impl<'a> GraphPlot<'a> {
             doc.text(w / 2.0, h / 2.0, "(empty graph)", 11.0, "middle", "#777777");
             return doc.finish();
         }
-        let layout = force_directed(g, ForceOptions { seed: self.seed, ..Default::default() });
+        let layout = force_directed(
+            g,
+            ForceOptions {
+                seed: self.seed,
+                ..Default::default()
+            },
+        );
         let pos = fit_to_viewport(&layout, w, h - 40.0, 30.0);
         let pos: Vec<(f64, f64)> = pos.into_iter().map(|(x, y)| (x, y + 30.0)).collect();
 
@@ -100,10 +108,7 @@ impl<'a> GraphPlot<'a> {
         let radius = |count: usize| 3.0 + 9.0 * (count as f64 / max_count).sqrt();
 
         // Edges first (under nodes).
-        let max_weight = g
-            .edges_iter()
-            .map(|(_, _, _, &w)| w)
-            .fold(1.0f64, f64::max);
+        let max_weight = g.edges_iter().map(|(_, _, _, &w)| w).fold(1.0f64, f64::max);
         for (e, s, t, &weight) in g.edges_iter() {
             let color = match self.edge_owner(e.index()) {
                 Some(c) => category_color(c).to_string(),
@@ -133,10 +138,24 @@ impl<'a> GraphPlot<'a> {
         let mut lx = 30.0;
         for c in 0..self.stats.k {
             doc.circle(lx, h - 14.0, 5.0, category_color(c), "#555555");
-            doc.text(lx + 9.0, h - 10.0, &format!("cluster {c}"), 9.0, "start", "#333333");
+            doc.text(
+                lx + 9.0,
+                h - 10.0,
+                &format!("cluster {c}"),
+                9.0,
+                "start",
+                "#333333",
+            );
             lx += 80.0;
         }
-        doc.text(lx + 10.0, h - 10.0, &format!("λ={:.2} γ={:.2}", self.lambda, self.gamma), 9.0, "start", "#333333");
+        doc.text(
+            lx + 10.0,
+            h - 10.0,
+            &format!("λ={:.2} γ={:.2}", self.lambda, self.gamma),
+            9.0,
+            "start",
+            "#333333",
+        );
         doc.finish()
     }
 }

@@ -44,7 +44,14 @@ impl Heatmap {
         doc.text(w / 2.0, 18.0, &self.title, 12.0, "middle", "#111111");
         let (rows, cols) = self.matrix.shape();
         if rows == 0 || cols == 0 {
-            doc.text(w / 2.0, h / 2.0, "(empty matrix)", 11.0, "middle", "#777777");
+            doc.text(
+                w / 2.0,
+                h / 2.0,
+                "(empty matrix)",
+                11.0,
+                "middle",
+                "#777777",
+            );
             return doc.finish();
         }
         let (lo, hi) = self.domain.unwrap_or_else(|| {
@@ -96,8 +103,22 @@ impl Heatmap {
                 "none",
             );
         }
-        doc.text(bar_x + 14.0, top + 8.0, &format!("{hi:.2}"), 8.0, "start", "#333333");
-        doc.text(bar_x + 14.0, bottom, &format!("{lo:.2}"), 8.0, "start", "#333333");
+        doc.text(
+            bar_x + 14.0,
+            top + 8.0,
+            &format!("{hi:.2}"),
+            8.0,
+            "start",
+            "#333333",
+        );
+        doc.text(
+            bar_x + 14.0,
+            bottom,
+            &format!("{lo:.2}"),
+            8.0,
+            "start",
+            "#333333",
+        );
         doc.finish()
     }
 }

@@ -46,7 +46,11 @@ impl Histogram {
             ((self.samples.len() as f64).log2().ceil() as usize + 1).max(1)
         };
         let lo = self.samples.iter().cloned().fold(f64::INFINITY, f64::min);
-        let hi = self.samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let hi = self
+            .samples
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
         let (lo, hi) = if (hi - lo).abs() < 1e-12 {
             (lo - 0.5, hi + 0.5)
         } else {
@@ -80,7 +84,17 @@ impl Histogram {
         let max_count = *counts.iter().max().expect("non-empty") as f64;
         let xs = LinearScale::new((edges[0], *edges.last().expect("non-empty")), (left, right));
         let ys = LinearScale::new((0.0, max_count), (bottom, top));
-        draw_axes(&mut doc, &xs, &ys, &self.x_label, "count", left, bottom, right, top);
+        draw_axes(
+            &mut doc,
+            &xs,
+            &ys,
+            &self.x_label,
+            "count",
+            left,
+            bottom,
+            right,
+            top,
+        );
         for (i, &c) in counts.iter().enumerate() {
             if c == 0 {
                 continue;
@@ -88,7 +102,14 @@ impl Histogram {
             let x0 = xs.apply(edges[i]);
             let x1 = xs.apply(edges[i + 1]);
             let y = ys.apply(c as f64);
-            doc.rect(x0 + 0.5, y, (x1 - x0 - 1.0).max(0.5), bottom - y, &self.color, "none");
+            doc.rect(
+                x0 + 0.5,
+                y,
+                (x1 - x0 - 1.0).max(0.5),
+                bottom - y,
+                &self.color,
+                "none",
+            );
         }
         doc.finish()
     }
@@ -101,12 +122,15 @@ mod tests {
     #[test]
     fn bins_partition_the_samples() {
         let samples: Vec<f64> = (0..100).map(|i| i as f64 / 10.0).collect();
-        let h = Histogram { bins: 10, ..Histogram::new("t", samples.clone()) };
+        let h = Histogram {
+            bins: 10,
+            ..Histogram::new("t", samples.clone())
+        };
         let (edges, counts) = h.bin_counts();
         assert_eq!(edges.len(), 11);
         assert_eq!(counts.iter().sum::<usize>(), samples.len());
         // Roughly uniform.
-        assert!(counts.iter().all(|&c| c >= 9 && c <= 11), "{counts:?}");
+        assert!(counts.iter().all(|&c| (9..=11).contains(&c)), "{counts:?}");
     }
 
     #[test]

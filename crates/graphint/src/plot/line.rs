@@ -21,7 +21,11 @@ impl Series {
     pub fn from_values(label: impl Into<String>, values: &[f64]) -> Self {
         Series {
             label: label.into(),
-            points: values.iter().enumerate().map(|(i, &v)| (i as f64, v)).collect(),
+            points: values
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (i as f64, v))
+                .collect(),
             color: String::new(),
             width: 1.2,
         }
@@ -99,7 +103,17 @@ impl LineChart {
         let pad = ((y1 - y0) * 0.05).max(1e-9);
         let xs = LinearScale::new((x0, x1), (left, right));
         let ys = LinearScale::new((y0 - pad, y1 + pad), (bottom, top));
-        draw_axes(&mut doc, &xs, &ys, &self.x_label, &self.y_label, left, bottom, right, top);
+        draw_axes(
+            &mut doc,
+            &xs,
+            &ys,
+            &self.x_label,
+            &self.y_label,
+            left,
+            bottom,
+            right,
+            top,
+        );
 
         for (x, label) in &self.vlines {
             let px = xs.apply(*x);
@@ -115,8 +129,11 @@ impl LineChart {
             } else {
                 s.color.clone()
             };
-            let pts: Vec<(f64, f64)> =
-                s.points.iter().map(|&(x, y)| (xs.apply(x), ys.apply(y))).collect();
+            let pts: Vec<(f64, f64)> = s
+                .points
+                .iter()
+                .map(|&(x, y)| (xs.apply(x), ys.apply(y)))
+                .collect();
             doc.polyline(&pts, &color, s.width);
         }
 
@@ -165,8 +182,7 @@ mod tests {
 
     #[test]
     fn vline_marker() {
-        let chart = LineChart::new("t")
-            .add(Series::from_values("a", &[1.0, 2.0]));
+        let chart = LineChart::new("t").add(Series::from_values("a", &[1.0, 2.0]));
         let mut chart = chart;
         chart.vlines.push((0.5, "ℓ̄".into()));
         let svg = chart.render();

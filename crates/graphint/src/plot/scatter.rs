@@ -86,8 +86,7 @@ mod tests {
 
     #[test]
     fn class_colors() {
-        let plot = ScatterPlot::new("p", vec![(0.0, 0.0), (1.0, 1.0)])
-            .with_classes(vec![0, 1]);
+        let plot = ScatterPlot::new("p", vec![(0.0, 0.0), (1.0, 1.0)]).with_classes(vec![0, 1]);
         let svg = plot.render();
         assert!(svg.contains(crate::color::CATEGORY10[0]));
         assert!(svg.contains(crate::color::CATEGORY10[1]));
@@ -101,6 +100,8 @@ mod tests {
 
     #[test]
     fn empty_graceful() {
-        assert!(ScatterPlot::new("p", vec![]).render().contains("(no points)"));
+        assert!(ScatterPlot::new("p", vec![])
+            .render()
+            .contains("(no points)"));
     }
 }

@@ -120,7 +120,10 @@ impl CentroidUser {
                 correct += 1;
             }
         }
-        QuizScore { correct, total: quiz.questions.len() }
+        QuizScore {
+            correct,
+            total: quiz.questions.len(),
+        }
     }
 }
 
@@ -166,7 +169,11 @@ impl GraphUser {
                 fallback[c] += exclusivity[c][node.index()];
             }
         }
-        let tally = if votes.iter().all(|&v| v == 0.0) { &fallback } else { &votes };
+        let tally = if votes.iter().all(|&v| v == 0.0) {
+            &fallback
+        } else {
+            &votes
+        };
         tally
             .iter()
             .enumerate()
@@ -205,7 +212,10 @@ impl GraphUser {
                 correct += 1;
             }
         }
-        QuizScore { correct, total: quiz.questions.len() }
+        QuizScore {
+            correct,
+            total: quiz.questions.len(),
+        }
     }
 }
 
@@ -249,8 +259,22 @@ mod tests {
 
     #[test]
     fn score_fraction() {
-        assert_eq!(QuizScore { correct: 3, total: 5 }.fraction(), 0.6);
-        assert_eq!(QuizScore { correct: 0, total: 0 }.fraction(), 0.0);
+        assert_eq!(
+            QuizScore {
+                correct: 3,
+                total: 5
+            }
+            .fraction(),
+            0.6
+        );
+        assert_eq!(
+            QuizScore {
+                correct: 0,
+                total: 0
+            }
+            .fraction(),
+            0.0
+        );
     }
 
     #[test]
@@ -259,7 +283,10 @@ mod tests {
         let rows = ds.znormed_rows();
         let km = KMeans::new(2, 0).fit(&rows);
         let quiz = Quiz::generate(ds.len(), 6, 1);
-        let user = CentroidUser { noise: 0.0, seed: 0 };
+        let user = CentroidUser {
+            noise: 0.0,
+            seed: 0,
+        };
         let score = user.run(&ds, &km.labels, &km.centroids, &quiz);
         // A noiseless nearest-centroid reader reproduces k-Means almost
         // exactly (it *is* the assignment rule, modulo z-norm of centroids).
@@ -298,7 +325,11 @@ mod tests {
         };
         let model = KGraph::new(cfg).fit(&ds);
         let quiz = Quiz::generate(ds.len(), 6, 2);
-        let user = GraphUser { noise: 0.1, seed: 0, gamma: 0.7 };
+        let user = GraphUser {
+            noise: 0.1,
+            seed: 0,
+            gamma: 0.7,
+        };
         let score = user.run(&model, &quiz);
         assert!(
             score.fraction() >= 0.8,
@@ -318,7 +349,11 @@ mod tests {
         };
         let model = KGraph::new(cfg).fit(&ds);
         let quiz = Quiz::generate(ds.len(), 5, 2);
-        let user = GraphUser { noise: 0.2, seed: 7, gamma: 0.7 };
+        let user = GraphUser {
+            noise: 0.2,
+            seed: 7,
+            gamma: 0.7,
+        };
         assert_eq!(user.run(&model, &quiz), user.run(&model, &quiz));
     }
 }

@@ -16,7 +16,10 @@ pub struct Report {
 impl Report {
     /// Creates a report with a page title.
     pub fn new(title: impl Into<String>) -> Self {
-        Report { title: title.into(), sections: Vec::new() }
+        Report {
+            title: title.into(),
+            sections: Vec::new(),
+        }
     }
 
     /// Starts a new section.

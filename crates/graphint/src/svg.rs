@@ -24,7 +24,11 @@ pub struct SvgDoc {
 impl SvgDoc {
     /// Creates a document of the given pixel size.
     pub fn new(width: f64, height: f64) -> Self {
-        SvgDoc { width, height, body: String::new() }
+        SvgDoc {
+            width,
+            height,
+            body: String::new(),
+        }
     }
 
     /// Document width.
@@ -109,8 +113,22 @@ impl SvgDoc {
         // Two short strokes splaying back from the tip.
         let (bx, by) = (x2 - ux * size, y2 - uy * size);
         let (px, py) = (-uy, ux);
-        self.line(x2, y2, bx + px * size * 0.5, by + py * size * 0.5, stroke, width);
-        self.line(x2, y2, bx - px * size * 0.5, by - py * size * 0.5, stroke, width);
+        self.line(
+            x2,
+            y2,
+            bx + px * size * 0.5,
+            by + py * size * 0.5,
+            stroke,
+            width,
+        );
+        self.line(
+            x2,
+            y2,
+            bx - px * size * 0.5,
+            by - py * size * 0.5,
+            stroke,
+            width,
+        );
     }
 
     /// Appends raw SVG markup (escape hatch for niche shapes).
@@ -202,14 +220,28 @@ pub fn draw_axes(
 ) {
     let axis_color = "#333333";
     doc.line(plot_left, plot_top, plot_left, plot_bottom, axis_color, 1.0);
-    doc.line(plot_left, plot_bottom, plot_right, plot_bottom, axis_color, 1.0);
+    doc.line(
+        plot_left,
+        plot_bottom,
+        plot_right,
+        plot_bottom,
+        axis_color,
+        1.0,
+    );
     for t in x.ticks(6) {
         let px = x.apply(t);
         if px < plot_left - 1e-6 || px > plot_right + 1e-6 {
             continue;
         }
         doc.line(px, plot_bottom, px, plot_bottom + 4.0, axis_color, 1.0);
-        doc.text(px, plot_bottom + 14.0, &format_tick(t), 9.0, "middle", axis_color);
+        doc.text(
+            px,
+            plot_bottom + 14.0,
+            &format_tick(t),
+            9.0,
+            "middle",
+            axis_color,
+        );
     }
     for t in y.ticks(6) {
         let py = y.apply(t);
@@ -217,7 +249,14 @@ pub fn draw_axes(
             continue;
         }
         doc.line(plot_left - 4.0, py, plot_left, py, axis_color, 1.0);
-        doc.text(plot_left - 6.0, py + 3.0, &format_tick(t), 9.0, "end", axis_color);
+        doc.text(
+            plot_left - 6.0,
+            py + 3.0,
+            &format_tick(t),
+            9.0,
+            "end",
+            axis_color,
+        );
     }
     if !x_label.is_empty() {
         doc.text(

@@ -26,12 +26,14 @@ pub fn transition_scores(layer: &GraphLayer, path: &[NodeId]) -> Vec<f64> {
     if path.len() < 2 {
         return Vec::new();
     }
+    // The modal outgoing weight is a max over the node's contiguous CSR
+    // weight slice; the transition itself is an O(log deg) lookup.
     let modal_out = |a: NodeId| -> f64 {
         layer
             .graph
-            .out_edges(a)
+            .out_weights(a)
             .iter()
-            .map(|&e| *layer.graph.edge(e))
+            .copied()
             .fold(1.0f64, f64::max)
     };
     path.windows(2)
@@ -39,8 +41,8 @@ pub fn transition_scores(layer: &GraphLayer, path: &[NodeId]) -> Vec<f64> {
             if w[0] == w[1] {
                 return 0.0;
             }
-            match layer.graph.edge_between(w[0], w[1]) {
-                Some(e) => 1.0 - *layer.graph.edge(e) / modal_out(w[0]),
+            match layer.graph.weight_between(w[0], w[1]) {
+                Some(&count) => 1.0 - count / modal_out(w[0]),
                 None => 1.0,
             }
         })
@@ -151,9 +153,7 @@ mod tests {
     /// Clean periodic dataset; the anomaly test injects a burst later.
     fn clean_dataset() -> Dataset {
         let series: Vec<TimeSeries> = (0..8)
-            .map(|p| {
-                TimeSeries::new((0..160).map(|i| ((i + p) as f64 * 0.4).sin()).collect())
-            })
+            .map(|p| TimeSeries::new((0..160).map(|i| ((i + p) as f64 * 0.4).sin()).collect()))
             .collect();
         Dataset::new("clean", DatasetKind::Simulated, series)
     }

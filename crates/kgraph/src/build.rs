@@ -4,13 +4,18 @@
 //! they represent (the mean of their z-normalised subsequences); edges
 //! connect temporally consecutive nodes within each series, weighted by
 //! transition frequency. The result is the paper's `G_ℓ = (N_ℓ, E_ℓ)`.
+//!
+//! Construction is builder-based: node payloads are accumulated in a flat
+//! vector, every observed transition is emitted as one `(src, dst, 1.0)`
+//! triple into a [`GraphBuilder`], and a single sort + aggregate pass
+//! produces the CSR graph — no per-edge adjacency probing anywhere.
 
 use crate::embed::Projection;
 use crate::nodes::{assign_point, NodeAssignment, RadialNode};
 use linalg::pca::Pca;
 use tscore::transform::znorm;
 use tscore::Dataset;
-use tsgraph::{DiGraph, NodeId};
+use tsgraph::{CsrGraph, GraphBuilder, NodeId};
 
 /// Payload of a graph node.
 #[derive(Debug, Clone)]
@@ -27,7 +32,9 @@ pub struct NodePattern {
 }
 
 /// A k-Graph graph: nodes carry patterns, edges carry transition counts.
-pub type PatternGraph = DiGraph<NodePattern, f64>;
+/// Stored as CSR — all downstream consumers (features, graphoids, anomaly
+/// scoring, the Graph frame) are pure readers.
+pub type PatternGraph = CsrGraph<NodePattern, f64>;
 
 /// The stored embedding of one layer: everything needed to map *new*
 /// series into the layer's graph (out-of-sample assignment).
@@ -100,18 +107,15 @@ pub fn build_graph_with_stride(
     assign: &NodeAssignment,
     stride: usize,
 ) -> GraphLayer {
-    let mut graph: PatternGraph = DiGraph::with_capacity(assign.nodes.len(), assign.nodes.len() * 2);
-    // Create graph nodes; accumulate patterns afterwards.
-    let node_ids: Vec<NodeId> = assign
+    // Node payloads first (graph node id i == radial-scan node i).
+    let mut payloads: Vec<NodePattern> = assign
         .nodes
         .iter()
-        .map(|n| {
-            graph.add_node(NodePattern {
-                sector: n.sector,
-                radius: n.radius,
-                count: 0,
-                pattern: vec![0.0; proj.length],
-            })
+        .map(|n| NodePattern {
+            sector: n.sector,
+            radius: n.radius,
+            count: 0,
+            pattern: vec![0.0; proj.length],
         })
         .collect();
 
@@ -120,14 +124,13 @@ pub fn build_graph_with_stride(
         let r = proj.refs[pi];
         let series = dataset.series()[r.series].values();
         let sub = znorm(&series[r.start..r.start + r.len]);
-        let node = graph.node_mut(node_ids[ni]);
+        let node = &mut payloads[ni];
         node.count += 1;
         for (acc, v) in node.pattern.iter_mut().zip(&sub) {
             *acc += v;
         }
     }
-    for &id in &node_ids {
-        let node = graph.node_mut(id);
+    for node in payloads.iter_mut() {
         if node.count > 0 {
             let c = node.count as f64;
             for v in node.pattern.iter_mut() {
@@ -136,13 +139,15 @@ pub fn build_graph_with_stride(
         }
     }
 
-    // Node paths per series + weighted edges between consecutive nodes.
+    // Node paths per series; every transition becomes one builder triple
+    // (duplicates aggregate into edge weights at build time).
+    let mut builder = GraphBuilder::with_capacity(assign.point_node.len());
     let mut paths: Vec<Vec<NodeId>> = Vec::with_capacity(dataset.len());
     for s in 0..dataset.len() {
         let range = proj.starts[s]..proj.starts[s + 1];
         let path: Vec<NodeId> = assign.point_node[range]
             .iter()
-            .map(|&ni| node_ids[ni])
+            .map(|&ni| NodeId(ni as u32))
             .collect();
         for w in path.windows(2) {
             let (a, b) = (w[0], w[1]);
@@ -151,15 +156,11 @@ pub fn build_graph_with_stride(
                 // informative edges; k-Graph graphs omit self loops.
                 continue;
             }
-            match graph.edge_between(a, b) {
-                Some(e) => *graph.edge_mut(e) += 1.0,
-                None => {
-                    graph.add_edge(a, b, 1.0);
-                }
-            }
+            builder.add_edge(a, b, 1.0);
         }
         paths.push(path);
     }
+    let graph: PatternGraph = builder.build(payloads, |acc, w| *acc += w);
 
     let embedding = LayerEmbedding {
         pca: proj.pca.clone(),
@@ -168,7 +169,13 @@ pub fn build_graph_with_stride(
         psi: assign.psi,
         stride,
     };
-    GraphLayer { length: proj.length, graph, paths, labels: Vec::new(), embedding }
+    GraphLayer {
+        length: proj.length,
+        graph,
+        paths,
+        labels: Vec::new(),
+        embedding,
+    }
 }
 
 /// Builds `G_ℓ` with the default stride of 1. See
@@ -213,7 +220,10 @@ mod tests {
     #[test]
     fn edges_reference_valid_nodes_with_positive_weights() {
         let (_, layer) = toy_layer();
-        assert!(layer.graph.edge_count() > 0, "graph should have transitions");
+        assert!(
+            layer.graph.edge_count() > 0,
+            "graph should have transitions"
+        );
         for (e, s, t, &w) in layer.graph.edges_iter() {
             assert!(s.index() < layer.graph.node_count());
             assert!(t.index() < layer.graph.node_count());
@@ -225,11 +235,7 @@ mod tests {
     #[test]
     fn node_counts_sum_to_total_windows() {
         let (ds, layer) = toy_layer();
-        let total: usize = layer
-            .graph
-            .nodes_iter()
-            .map(|(_, n)| n.count)
-            .sum();
+        let total: usize = layer.graph.nodes_iter().map(|(_, n)| n.count).sum();
         assert_eq!(total, ds.len() * (80 - 16 + 1));
     }
 

@@ -146,7 +146,10 @@ mod tests {
 
     #[test]
     fn single_auto_length() {
-        let cfg = KGraphConfig { n_lengths: 1, ..KGraphConfig::new(2) };
+        let cfg = KGraphConfig {
+            n_lengths: 1,
+            ..KGraphConfig::new(2)
+        };
         let lens = cfg.resolve_lengths(100);
         assert_eq!(lens.len(), 1);
         assert_eq!(lens[0], 30); // midpoint fraction 0.3

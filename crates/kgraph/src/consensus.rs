@@ -49,7 +49,9 @@ pub fn consensus_labels(mc: &Matrix, k: usize, seed: u64) -> Vec<usize> {
 /// k-Means consensus (ablation): clusters the *rows* of the consensus
 /// matrix instead of its spectral embedding.
 pub fn consensus_labels_kmeans(mc: &Matrix, k: usize, seed: u64) -> Vec<usize> {
-    clustering::kmeans::KMeans::new(k, seed).fit(&mc.to_rows()).labels
+    clustering::kmeans::KMeans::new(k, seed)
+        .fit(&mc.to_rows())
+        .labels
 }
 
 #[cfg(test)]

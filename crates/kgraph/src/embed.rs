@@ -65,7 +65,11 @@ pub fn project_subsequences(
         let mut start = 0usize;
         while start + length <= vals.len() {
             rows.push(znorm(&vals[start..start + length]));
-            refs.push(SubseqRef { series: si, start, len: length });
+            refs.push(SubseqRef {
+                series: si,
+                start,
+                len: length,
+            });
             start += stride;
         }
     }
@@ -89,7 +93,13 @@ pub fn project_subsequences(
             (p[0], *p.get(1).unwrap_or(&0.0))
         })
         .collect();
-    Projection { length, points, refs, starts, pca }
+    Projection {
+        length,
+        points,
+        refs,
+        starts,
+        pca,
+    }
 }
 
 #[cfg(test)]
@@ -148,10 +158,12 @@ mod tests {
         // fully overlap. Compare centroid distance to cloud spread.
         let ds = toy_dataset();
         let proj = project_subsequences(&ds, 16, 1, 1000);
-        let cloud_a: Vec<(f64, f64)> =
-            (0..3).flat_map(|s| proj.series_points(s).to_vec()).collect();
-        let cloud_b: Vec<(f64, f64)> =
-            (3..6).flat_map(|s| proj.series_points(s).to_vec()).collect();
+        let cloud_a: Vec<(f64, f64)> = (0..3)
+            .flat_map(|s| proj.series_points(s).to_vec())
+            .collect();
+        let cloud_b: Vec<(f64, f64)> = (3..6)
+            .flat_map(|s| proj.series_points(s).to_vec())
+            .collect();
         let centroid = |c: &[(f64, f64)]| {
             let n = c.len() as f64;
             (
@@ -171,7 +183,10 @@ mod tests {
         // Tiny sample still produces a valid projection of all points.
         let proj = project_subsequences(&ds, 16, 1, 16);
         assert_eq!(proj.points.len(), 6 * 45);
-        assert!(proj.points.iter().all(|p| p.0.is_finite() && p.1.is_finite()));
+        assert!(proj
+            .points
+            .iter()
+            .all(|p| p.0.is_finite() && p.1.is_finite()));
     }
 
     #[test]

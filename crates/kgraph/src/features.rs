@@ -14,7 +14,11 @@ use clustering::kmeans::KMeans;
 /// `[count(node 0), …, count(node N−1), count(edge 0), …, count(edge E−1)]`
 /// (either block can be disabled for ablations). Counts are raw crossing
 /// frequencies, matching the paper's construction.
-pub fn feature_matrix(layer: &GraphLayer, node_features: bool, edge_features: bool) -> Vec<Vec<f64>> {
+pub fn feature_matrix(
+    layer: &GraphLayer,
+    node_features: bool,
+    edge_features: bool,
+) -> Vec<Vec<f64>> {
     assert!(
         node_features || edge_features,
         "at least one feature family must be enabled"
@@ -36,7 +40,8 @@ pub fn feature_matrix(layer: &GraphLayer, node_features: bool, edge_features: bo
                 if w[0] == w[1] {
                     continue;
                 }
-                if let Some(e) = layer.graph.edge_between(w[0], w[1]) {
+                // O(log deg) binary search over the sorted CSR out-slice.
+                if let Some(e) = layer.graph.edge_id(w[0], w[1]) {
                     row[offset + e.index()] += 1.0;
                 }
             }
@@ -56,7 +61,14 @@ pub fn cluster_layer(
     edge_features: bool,
 ) -> Vec<usize> {
     let features = feature_matrix(layer, node_features, edge_features);
-    KMeans { k, max_iter: 100, n_init, seed }.fit(&features).labels
+    KMeans {
+        k,
+        max_iter: 100,
+        n_init,
+        seed,
+    }
+    .fit(&features)
+    .labels
 }
 
 #[cfg(test)]

@@ -31,7 +31,11 @@ impl ClusterStats {
     /// Computes crossing statistics for `layer` under the partition
     /// `labels` (values in `0..k`).
     pub fn compute(layer: &GraphLayer, labels: &[usize], k: usize) -> ClusterStats {
-        assert_eq!(labels.len(), layer.paths.len(), "labels must cover all series");
+        assert_eq!(
+            labels.len(),
+            layer.paths.len(),
+            "labels must cover all series"
+        );
         assert!(k >= 1, "k must be >= 1");
         let n_nodes = layer.graph.node_count();
         let n_edges = layer.graph.edge_count();
@@ -56,7 +60,7 @@ impl ClusterStats {
                 if w[0] == w[1] {
                     continue;
                 }
-                if let Some(e) = layer.graph.edge_between(w[0], w[1]) {
+                if let Some(e) = layer.graph.edge_id(w[0], w[1]) {
                     seen_edges[e.index()] = true;
                 }
             }
@@ -66,7 +70,12 @@ impl ClusterStats {
                 }
             }
         }
-        ClusterStats { k, node_crossings, edge_crossings, cluster_sizes }
+        ClusterStats {
+            k,
+            node_crossings,
+            edge_crossings,
+            cluster_sizes,
+        }
     }
 
     /// Representativity of node `n` in cluster `c` ∈ [0, 1].
@@ -135,15 +144,19 @@ impl Graphoid {
     /// the parent; only edges whose endpoints are both selected survive —
     /// by construction of the thresholds this is usually all of them).
     pub fn extract(&self, graph: &PatternGraph) -> PatternGraph {
-        let keep: std::collections::HashSet<usize> =
-            self.nodes.iter().map(|n| n.index()).collect();
+        let keep: std::collections::HashSet<usize> = self.nodes.iter().map(|n| n.index()).collect();
         let (sub, _) = graph.filter_nodes(|id, _| keep.contains(&id.index()));
         sub
     }
 }
 
 /// λ-graphoid of a cluster: nodes/edges with representativity ≥ λ.
-pub fn lambda_graphoid(stats: &ClusterStats, layer: &GraphLayer, cluster: usize, lambda: f64) -> Graphoid {
+pub fn lambda_graphoid(
+    stats: &ClusterStats,
+    layer: &GraphLayer,
+    cluster: usize,
+    lambda: f64,
+) -> Graphoid {
     let nodes = (0..layer.graph.node_count())
         .filter(|&n| stats.node_representativity(cluster, n) >= lambda)
         .map(|n| NodeId(n as u32))
@@ -152,11 +165,21 @@ pub fn lambda_graphoid(stats: &ClusterStats, layer: &GraphLayer, cluster: usize,
         .filter(|&e| stats.edge_representativity(cluster, e) >= lambda)
         .map(|e| EdgeId(e as u32))
         .collect();
-    Graphoid { cluster, threshold: lambda, nodes, edges }
+    Graphoid {
+        cluster,
+        threshold: lambda,
+        nodes,
+        edges,
+    }
 }
 
 /// γ-graphoid of a cluster: nodes/edges with exclusivity ≥ γ.
-pub fn gamma_graphoid(stats: &ClusterStats, layer: &GraphLayer, cluster: usize, gamma: f64) -> Graphoid {
+pub fn gamma_graphoid(
+    stats: &ClusterStats,
+    layer: &GraphLayer,
+    cluster: usize,
+    gamma: f64,
+) -> Graphoid {
     let nodes = (0..layer.graph.node_count())
         .filter(|&n| stats.node_exclusivity(cluster, n) >= gamma)
         .map(|n| NodeId(n as u32))
@@ -165,7 +188,12 @@ pub fn gamma_graphoid(stats: &ClusterStats, layer: &GraphLayer, cluster: usize, 
         .filter(|&e| stats.edge_exclusivity(cluster, e) >= gamma)
         .map(|e| EdgeId(e as u32))
         .collect();
-    Graphoid { cluster, threshold: gamma, nodes, edges }
+    Graphoid {
+        cluster,
+        threshold: gamma,
+        nodes,
+        edges,
+    }
 }
 
 /// Scenario-2 helper ("find the correct value of γ and λ so we have at
@@ -179,8 +207,7 @@ pub fn auto_thresholds(stats: &ClusterStats, layer: &GraphLayer, grid: usize) ->
     let joint_ok = |lambda: f64, gamma: f64| -> bool {
         (0..stats.k).all(|c| {
             (0..layer.graph.node_count()).any(|n| {
-                stats.node_representativity(c, n) >= lambda
-                    && stats.node_exclusivity(c, n) >= gamma
+                stats.node_representativity(c, n) >= lambda && stats.node_exclusivity(c, n) >= gamma
             })
         })
     };

@@ -125,7 +125,12 @@ pub fn radial_scan(
         })
         .collect();
 
-    NodeAssignment { nodes, point_node, center, psi }
+    NodeAssignment {
+        nodes,
+        point_node,
+        center,
+        psi,
+    }
 }
 
 /// Assigns a single projected point to a node, using the same rule as the
@@ -134,8 +139,7 @@ pub fn radial_scan(
 /// produced no nodes (possible for out-of-sample points).
 pub fn assign_point(assign: &NodeAssignment, p: (f64, f64)) -> usize {
     let (theta, r) = to_polar(p, assign.center);
-    let sector =
-        ((theta / std::f64::consts::TAU * assign.psi as f64) as usize).min(assign.psi - 1);
+    let sector = ((theta / std::f64::consts::TAU * assign.psi as f64) as usize).min(assign.psi - 1);
     let in_sector: Vec<usize> = assign
         .nodes
         .iter()
@@ -221,8 +225,7 @@ mod tests {
         );
         for (i, &pt) in proj.points.iter().enumerate() {
             let (theta, _) = super::to_polar(pt, center);
-            let sector =
-                ((theta / std::f64::consts::TAU * psi as f64) as usize).min(psi - 1);
+            let sector = ((theta / std::f64::consts::TAU * psi as f64) as usize).min(psi - 1);
             assert_eq!(assign.nodes[assign.point_node[i]].sector, sector);
         }
     }

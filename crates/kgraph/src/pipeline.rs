@@ -9,7 +9,6 @@ use crate::graphoid::{gamma_graphoid, lambda_graphoid, ClusterStats, Graphoid};
 use crate::interpret::{score_lengths, LengthScore};
 use crate::nodes::radial_scan;
 use linalg::matrix::Matrix;
-use parking_lot::Mutex;
 use tscore::Dataset;
 
 /// The k-Graph estimator. Construct with a [`KGraphConfig`], call
@@ -47,7 +46,9 @@ impl KGraph {
 
     /// Convenience: canonical configuration for `k` clusters.
     pub fn with_k(k: usize, seed: u64) -> Self {
-        KGraph { config: KGraphConfig::new(k).with_seed(seed) }
+        KGraph {
+            config: KGraphConfig::new(k).with_seed(seed),
+        }
     }
 
     /// Runs the full pipeline on a dataset.
@@ -64,22 +65,29 @@ impl KGraph {
             dataset.min_len()
         );
 
-        // Stages 1–2, one job per length (Figure 1's Job 0 … Job M).
+        // Stages 1–2, one job per length (Figure 1's Job 0 … Job M),
+        // executed by a bounded worker pool: the lengths and their output
+        // slots are chunked, each worker owns one disjoint slot chunk and
+        // writes results lock-free through its exclusive borrow. Short
+        // lengths are the cheap ones and lengths ascend, so interleaving
+        // is unnecessary — chunks cost within ~2x of each other.
         let mut layers: Vec<GraphLayer> = if cfg.parallel && lengths.len() > 1 {
-            let slots: Mutex<Vec<Option<GraphLayer>>> =
-                Mutex::new((0..lengths.len()).map(|_| None).collect());
+            let workers = std::thread::available_parallelism()
+                .map_or(1, |p| p.get())
+                .min(lengths.len());
+            let chunk = lengths.len().div_ceil(workers);
+            let mut slots: Vec<Option<GraphLayer>> = (0..lengths.len()).map(|_| None).collect();
             crossbeam::thread::scope(|scope| {
-                for (i, &length) in lengths.iter().enumerate() {
-                    let slots = &slots;
+                for (slot_chunk, len_chunk) in slots.chunks_mut(chunk).zip(lengths.chunks(chunk)) {
                     scope.spawn(move |_| {
-                        let layer = fit_layer(dataset, cfg, length);
-                        slots.lock()[i] = Some(layer);
+                        for (slot, &length) in slot_chunk.iter_mut().zip(len_chunk) {
+                            *slot = Some(fit_layer(dataset, cfg, length));
+                        }
                     });
                 }
             })
             .expect("layer job panicked");
             slots
-                .into_inner()
                 .into_iter()
                 .map(|s| s.expect("every slot filled"))
                 .collect()
@@ -101,7 +109,14 @@ impl KGraph {
         // Keep layers sorted by length for stable reporting.
         debug_assert!(layers.windows(2).all(|w| w[0].length <= w[1].length));
         layers.shrink_to_fit();
-        KGraphModel { config: cfg.clone(), layers, consensus, labels, scores, best_layer }
+        KGraphModel {
+            config: cfg.clone(),
+            layers,
+            consensus,
+            labels,
+            scores,
+            best_layer,
+        }
     }
 }
 
@@ -357,7 +372,11 @@ mod tests {
     #[test]
     fn single_length_configuration() {
         let ds = toy_dataset();
-        let cfg = KGraphConfig { parallel: true, ..quick_config(2) }.with_lengths(vec![16]);
+        let cfg = KGraphConfig {
+            parallel: true,
+            ..quick_config(2)
+        }
+        .with_lengths(vec![16]);
         let model = KGraph::new(cfg).fit(&ds);
         assert_eq!(model.layers.len(), 1);
         assert_eq!(model.best_layer, 0);
@@ -410,11 +429,7 @@ mod tests {
         let tiny = vec![0.0; model.best_length() - 1];
         assert_eq!(model.predict(&tiny), None);
         // predict_dataset falls back to 0 for the same case.
-        let mini = Dataset::new(
-            "mini",
-            DatasetKind::Other,
-            vec![TimeSeries::new(tiny)],
-        );
+        let mini = Dataset::new("mini", DatasetKind::Other, vec![TimeSeries::new(tiny)]);
         assert_eq!(model.predict_dataset(&mini), vec![0]);
     }
 }

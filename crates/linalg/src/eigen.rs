@@ -34,7 +34,11 @@ impl EigenDecomposition {
 /// matrices). Converges when the off-diagonal Frobenius mass drops below
 /// `1e-12` relative to the matrix norm, or after 100 sweeps.
 pub fn symmetric_eigen(m: &Matrix) -> EigenDecomposition {
-    assert_eq!(m.rows(), m.cols(), "symmetric_eigen requires a square matrix");
+    assert_eq!(
+        m.rows(),
+        m.cols(),
+        "symmetric_eigen requires a square matrix"
+    );
     let n = m.rows();
     let mut a = m.clone();
     let mut v = Matrix::identity(n);
@@ -120,7 +124,11 @@ pub fn symmetric_eigen(m: &Matrix) -> EigenDecomposition {
 /// Deterministic: starts from an all-ones vector (falling back to a basis
 /// vector if that lies in the nullspace). Returns `(eigenvalue, vector)`.
 pub fn power_iteration(m: &Matrix, max_iter: usize, tol: f64) -> (f64, Vec<f64>) {
-    assert_eq!(m.rows(), m.cols(), "power_iteration requires a square matrix");
+    assert_eq!(
+        m.rows(),
+        m.cols(),
+        "power_iteration requires a square matrix"
+    );
     let n = m.rows();
     if n == 0 {
         return (0.0, Vec::new());
@@ -204,7 +212,12 @@ mod tests {
         let e = symmetric_eigen(&m);
         for i in 0..3 {
             for j in 0..3 {
-                let dot: f64 = e.vector(i).iter().zip(e.vector(j)).map(|(a, b)| a * b).sum();
+                let dot: f64 = e
+                    .vector(i)
+                    .iter()
+                    .zip(e.vector(j))
+                    .map(|(a, b)| a * b)
+                    .sum();
                 let expected = if i == j { 1.0 } else { 0.0 };
                 assert_close(dot, expected, 1e-8);
             }

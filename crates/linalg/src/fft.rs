@@ -29,7 +29,10 @@ impl Complex {
     /// Complex conjugate.
     #[inline]
     pub fn conj(self) -> Self {
-        Complex { re: self.re, im: -self.im }
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Product.
@@ -49,14 +52,20 @@ impl Complex {
     #[allow(clippy::should_implement_trait)]
     #[inline]
     pub fn add(self, other: Complex) -> Self {
-        Complex { re: self.re + other.re, im: self.im + other.im }
+        Complex {
+            re: self.re + other.re,
+            im: self.im + other.im,
+        }
     }
 
     /// Difference.
     #[allow(clippy::should_implement_trait)]
     #[inline]
     pub fn sub(self, other: Complex) -> Self {
-        Complex { re: self.re - other.re, im: self.im - other.im }
+        Complex {
+            re: self.re - other.re,
+            im: self.im - other.im,
+        }
     }
 }
 
@@ -70,7 +79,10 @@ pub fn next_pow2(n: usize) -> usize {
 /// divide by `n`).
 pub fn fft_inplace(buf: &mut [Complex], inverse: bool) {
     let n = buf.len();
-    assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+    assert!(
+        n.is_power_of_two(),
+        "FFT length must be a power of two, got {n}"
+    );
     if n <= 1 {
         return;
     }
@@ -142,7 +154,11 @@ pub fn cross_correlation_fft(a: &[f64], b: &[f64]) -> Vec<f64> {
     let mut out = Vec::with_capacity(2 * m - 1);
     for s in 0..(2 * m - 1) {
         let k = s as isize - (m as isize - 1);
-        let idx = if k >= 0 { k as usize } else { size - (-k) as usize };
+        let idx = if k >= 0 {
+            k as usize
+        } else {
+            size - (-k) as usize
+        };
         out.push(prod[idx].re * scale);
     }
     out

@@ -24,7 +24,10 @@ impl Kde {
     /// near-constant samples still work).
     pub fn silverman(points: Vec<f64>) -> Self {
         let bw = silverman_bandwidth(&points).max(1e-6);
-        Kde { points, bandwidth: bw }
+        Kde {
+            points,
+            bandwidth: bw,
+        }
     }
 
     /// The sample the KDE was built from.
@@ -83,7 +86,12 @@ impl Kde {
             return Vec::new();
         }
         let lo = self.points.iter().cloned().fold(f64::INFINITY, f64::min) - self.bandwidth;
-        let hi = self.points.iter().cloned().fold(f64::NEG_INFINITY, f64::max) + self.bandwidth;
+        let hi = self
+            .points
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max)
+            + self.bandwidth;
         let (grid, dens) = self.evaluate_grid(lo, hi, grid_size);
         let peak = dens.iter().cloned().fold(0.0f64, f64::max);
         if peak <= 0.0 {

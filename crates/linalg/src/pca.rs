@@ -54,7 +54,12 @@ impl Pca {
                 components[(c, r)] = eig.vectors[(r, c)];
             }
         }
-        Pca { mean, components, explained_variance: explained, total_variance }
+        Pca {
+            mean,
+            components,
+            explained_variance: explained,
+            total_variance,
+        }
     }
 
     /// Number of retained components.
@@ -82,12 +87,19 @@ impl Pca {
         if self.total_variance <= f64::MIN_POSITIVE {
             return vec![0.0; self.explained_variance.len()];
         }
-        self.explained_variance.iter().map(|v| v / self.total_variance).collect()
+        self.explained_variance
+            .iter()
+            .map(|v| v / self.total_variance)
+            .collect()
     }
 
     /// Projects a single observation onto the retained axes.
     pub fn project(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.mean.len(), "PCA projection dimension mismatch");
+        assert_eq!(
+            x.len(),
+            self.mean.len(),
+            "PCA projection dimension mismatch"
+        );
         let centred: Vec<f64> = x.iter().zip(&self.mean).map(|(a, m)| a - m).collect();
         (0..self.components.rows())
             .map(|c| {

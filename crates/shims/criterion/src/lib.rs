@@ -1,0 +1,239 @@
+//! Local shim for the `criterion` API subset this workspace uses.
+//!
+//! It measures for real — each benchmark closure is timed over
+//! `sample_size` samples after a calibration pass that picks an iteration
+//! count targeting a few milliseconds per sample — and prints
+//! `name  time: [min mean max]` lines, but does no statistical analysis,
+//! HTML reports or comparison against saved baselines.
+
+use std::time::{Duration, Instant};
+
+/// Opaque identity function preventing the optimiser from deleting the
+/// benchmarked computation.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// A benchmark id: function name plus a parameter, rendered `name/param`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Times closures handed to [`Bencher::iter`].
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly, collecting `sample_size` timed samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: aim for ~2 ms per sample, at least one iteration.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let iters = (Duration::from_millis(2).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            self.samples.push(start.elapsed() / iters as u32);
+        }
+    }
+
+    fn report(&self, label: &str) {
+        if self.samples.is_empty() {
+            println!("{label:<40} (no samples)");
+            return;
+        }
+        let min = self.samples.iter().min().unwrap();
+        let max = self.samples.iter().max().unwrap();
+        let mean = self.samples.iter().sum::<Duration>() / self.samples.len() as u32;
+        println!(
+            "{label:<48} time: [{:>12} {:>12} {:>12}]",
+            format_duration(*min),
+            format_duration(mean),
+            format_duration(*max)
+        );
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `f` under `id` (any `Display`, typically a `&str` or
+    /// [`BenchmarkId`]).
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.criterion.sample_size,
+        };
+        f(&mut b);
+        b.report(&label);
+        self
+    }
+
+    /// Benchmarks `f` with an input reference, criterion-style.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.criterion.sample_size,
+        };
+        f(&mut b, input);
+        b.report(&label);
+        self
+    }
+
+    /// Ends the group (printing is incremental; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the default number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== group {name}");
+        BenchmarkGroup {
+            name,
+            criterion: self,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.to_string();
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        b.report(&label);
+        self
+    }
+}
+
+/// Declares a benchmark group: plain `criterion_group!(name, fn, ...)` or
+/// the struct form with `name = ...; config = ...; targets = ...`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main()` running the given groups (requires `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut group = c.benchmark_group("shim");
+        let mut ran = 0u64;
+        group.bench_function("noop", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sum", 8), &8u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+        assert!(ran > 0, "closure must actually run");
+    }
+}

@@ -1,0 +1,70 @@
+//! Local shim for the `crossbeam` API subset this workspace uses:
+//! [`thread::scope`] with scoped [`thread::Scope::spawn`], backed by
+//! `std::thread::scope`.
+//!
+//! Behavioural difference kept deliberately: a panicking child re-panics
+//! on scope exit (std semantics) instead of surfacing through the returned
+//! `Result` — every caller `.expect()`s the result anyway.
+
+pub mod thread {
+    /// Scoped-thread handle mirroring `crossbeam::thread::Scope`.
+    ///
+    /// Wraps `std::thread::Scope`; the wrapper is what lets spawned
+    /// closures receive a `&Scope` argument for nested spawns, matching
+    /// crossbeam's `spawn(|scope| ...)` signature.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives the scope so it
+        /// can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowed-data threads can be
+    /// spawned; returns once all of them finished.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_stack_data() {
+        let data = vec![1u64, 2, 3, 4];
+        let mut out = vec![0u64; 4];
+        super::thread::scope(|s| {
+            for (slot, &v) in out.iter_mut().zip(&data) {
+                s.spawn(move |_| *slot = v * 10);
+            }
+        })
+        .expect("no panics");
+        assert_eq!(out, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let total = std::sync::atomic::AtomicUsize::new(0);
+        super::thread::scope(|s| {
+            s.spawn(|inner| {
+                inner.spawn(|_| {
+                    total.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                });
+            });
+        })
+        .expect("no panics");
+        assert_eq!(total.load(std::sync::atomic::Ordering::SeqCst), 1);
+    }
+}

@@ -1,11 +1,21 @@
-//! Graph algorithms: traversal, components, reachability.
+//! Graph algorithms: traversal, components, reachability, PageRank.
+//!
+//! All functions take the CSR representation ([`CsrGraph`]) so the inner
+//! loops walk contiguous neighbour slices — BFS and PageRank touch memory
+//! linearly per node instead of chasing per-edge indirections. Reference
+//! implementations over [`DiGraph`] live in [`reference`] and exist to
+//! pin behavioural parity in the property tests.
 
-use crate::digraph::{DiGraph, NodeId};
+use crate::csr::CsrGraph;
+use crate::digraph::NodeId;
 use std::collections::VecDeque;
 
 /// Breadth-first order of nodes reachable from `start`, treating edges as
 /// **undirected** (used for weak reachability of graphoid neighbourhoods).
-pub fn bfs_undirected<N, E>(g: &DiGraph<N, E>, start: NodeId) -> Vec<NodeId> {
+///
+/// Neighbours are visited in sorted order (successors first, then
+/// predecessors), so the order is deterministic for a given graph.
+pub fn bfs_undirected<N, E>(g: &CsrGraph<N, E>, start: NodeId) -> Vec<NodeId> {
     let mut visited = vec![false; g.node_count()];
     let mut order = Vec::new();
     let mut queue = VecDeque::new();
@@ -16,7 +26,7 @@ pub fn bfs_undirected<N, E>(g: &DiGraph<N, E>, start: NodeId) -> Vec<NodeId> {
     queue.push_back(start);
     while let Some(u) = queue.pop_front() {
         order.push(u);
-        for v in g.neighbors_undirected(u) {
+        for &v in g.out_neighbors(u).iter().chain(g.in_neighbors(u)) {
             if !visited[v.index()] {
                 visited[v.index()] = true;
                 queue.push_back(v);
@@ -28,7 +38,7 @@ pub fn bfs_undirected<N, E>(g: &DiGraph<N, E>, start: NodeId) -> Vec<NodeId> {
 
 /// Breadth-first order of nodes reachable from `start` along edge
 /// directions.
-pub fn bfs_directed<N, E>(g: &DiGraph<N, E>, start: NodeId) -> Vec<NodeId> {
+pub fn bfs_directed<N, E>(g: &CsrGraph<N, E>, start: NodeId) -> Vec<NodeId> {
     let mut visited = vec![false; g.node_count()];
     let mut order = Vec::new();
     let mut queue = VecDeque::new();
@@ -39,7 +49,7 @@ pub fn bfs_directed<N, E>(g: &DiGraph<N, E>, start: NodeId) -> Vec<NodeId> {
     queue.push_back(start);
     while let Some(u) = queue.pop_front() {
         order.push(u);
-        for v in g.successors(u) {
+        for &v in g.out_neighbors(u) {
             if !visited[v.index()] {
                 visited[v.index()] = true;
                 queue.push_back(v);
@@ -51,7 +61,7 @@ pub fn bfs_directed<N, E>(g: &DiGraph<N, E>, start: NodeId) -> Vec<NodeId> {
 
 /// Weakly connected components; returns `components[node.index()] = label`
 /// with labels in `0..count`, plus the count.
-pub fn weakly_connected_components<N, E>(g: &DiGraph<N, E>) -> (Vec<usize>, usize) {
+pub fn weakly_connected_components<N, E>(g: &CsrGraph<N, E>) -> (Vec<usize>, usize) {
     let n = g.node_count();
     let mut label = vec![usize::MAX; n];
     let mut next = 0usize;
@@ -68,13 +78,13 @@ pub fn weakly_connected_components<N, E>(g: &DiGraph<N, E>) -> (Vec<usize>, usiz
 }
 
 /// Whether `target` is reachable from `source` along edge directions.
-pub fn is_reachable<N, E>(g: &DiGraph<N, E>, source: NodeId, target: NodeId) -> bool {
+pub fn is_reachable<N, E>(g: &CsrGraph<N, E>, source: NodeId, target: NodeId) -> bool {
     bfs_directed(g, source).contains(&target)
 }
 
 /// Node ids sorted by total degree, densest first (used by the Graph frame
-/// to pick label anchors).
-pub fn nodes_by_degree<N, E>(g: &DiGraph<N, E>) -> Vec<NodeId> {
+/// to pick label anchors). Degrees are O(1) offset subtractions on CSR.
+pub fn nodes_by_degree<N, E>(g: &CsrGraph<N, E>) -> Vec<NodeId> {
     let mut ids: Vec<NodeId> = g.node_ids().collect();
     ids.sort_by_key(|&id| std::cmp::Reverse(g.degree(id)));
     ids
@@ -87,8 +97,11 @@ pub fn nodes_by_degree<N, E>(g: &DiGraph<N, E>) -> Vec<NodeId> {
 /// nodes by how central they are to the dataset's pattern flow (the Graph
 /// frame's "nodes exploration" ordering). Dangling nodes redistribute
 /// uniformly. Returns one score per node, summing to 1.
+///
+/// The push loop walks each node's target slice and weight slice in
+/// lockstep — fully cache-linear on CSR.
 pub fn pagerank<N, E>(
-    g: &DiGraph<N, E>,
+    g: &CsrGraph<N, E>,
     damping: f64,
     iterations: usize,
     edge_weight: impl Fn(&E) -> f64,
@@ -100,13 +113,13 @@ pub fn pagerank<N, E>(
     let d = damping.clamp(0.0, 1.0);
     let uniform = 1.0 / n as f64;
     let mut rank = vec![uniform; n];
-    // Precompute out-weight sums.
+    // Precompute out-weight sums from the contiguous weight slices.
     let out_sum: Vec<f64> = g
         .node_ids()
         .map(|u| {
-            g.out_edges(u)
+            g.out_weights(u)
                 .iter()
-                .map(|&e| edge_weight(g.edge(e)).max(0.0))
+                .map(|w| edge_weight(w).max(0.0))
                 .sum()
         })
         .collect();
@@ -120,10 +133,9 @@ pub fn pagerank<N, E>(
                 dangling_mass += rank[ui];
                 continue;
             }
-            for &e in g.out_edges(u) {
-                let w = edge_weight(g.edge(e)).max(0.0);
-                let (_, t) = g.endpoints(e);
-                next[t.index()] += rank[ui] * w / out_sum[ui];
+            let push = rank[ui] / out_sum[ui];
+            for (&t, w) in g.out_neighbors(u).iter().zip(g.out_weights(u)) {
+                next[t.index()] += push * edge_weight(w).max(0.0);
             }
         }
         let base = (1.0 - d) * uniform + d * dangling_mass * uniform;
@@ -135,72 +147,201 @@ pub fn pagerank<N, E>(
     rank
 }
 
+/// Reference implementations over [`DiGraph`](crate::DiGraph), kept to
+/// pin CSR/DiGraph behavioural parity in `tests/proptest_csr.rs`. Not for
+/// hot paths: adjacency here is per-node `Vec<EdgeId>` indirection.
+pub mod reference {
+    use crate::digraph::{DiGraph, NodeId};
+    use std::collections::VecDeque;
+
+    /// BFS over undirected edges; neighbour order follows insertion order,
+    /// so only the visited *set* (not the order) is comparable with the
+    /// CSR implementation.
+    pub fn bfs_undirected<N, E>(g: &DiGraph<N, E>, start: NodeId) -> Vec<NodeId> {
+        let mut visited = vec![false; g.node_count()];
+        let mut order = Vec::new();
+        let mut queue = VecDeque::new();
+        if start.index() >= g.node_count() {
+            return order;
+        }
+        visited[start.index()] = true;
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            for v in g.neighbors_undirected(u) {
+                if !visited[v.index()] {
+                    visited[v.index()] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+        order
+    }
+
+    /// BFS along edge directions.
+    pub fn bfs_directed<N, E>(g: &DiGraph<N, E>, start: NodeId) -> Vec<NodeId> {
+        let mut visited = vec![false; g.node_count()];
+        let mut order = Vec::new();
+        let mut queue = VecDeque::new();
+        if start.index() >= g.node_count() {
+            return order;
+        }
+        visited[start.index()] = true;
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            for v in g.successors(u) {
+                if !visited[v.index()] {
+                    visited[v.index()] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+        order
+    }
+
+    /// Weakly connected components (see the CSR version for semantics).
+    pub fn weakly_connected_components<N, E>(g: &DiGraph<N, E>) -> (Vec<usize>, usize) {
+        let n = g.node_count();
+        let mut label = vec![usize::MAX; n];
+        let mut next = 0usize;
+        for start in g.node_ids() {
+            if label[start.index()] != usize::MAX {
+                continue;
+            }
+            for u in bfs_undirected(g, start) {
+                label[u.index()] = next;
+            }
+            next += 1;
+        }
+        (label, next)
+    }
+
+    /// Weighted PageRank (see the CSR version for semantics). Walks the
+    /// edge arena directly so parallel edges contribute separately —
+    /// numerically this matches the CSR run on the aggregated graph.
+    pub fn pagerank<N, E>(
+        g: &DiGraph<N, E>,
+        damping: f64,
+        iterations: usize,
+        edge_weight: impl Fn(&E) -> f64,
+    ) -> Vec<f64> {
+        let n = g.node_count();
+        if n == 0 {
+            return Vec::new();
+        }
+        let d = damping.clamp(0.0, 1.0);
+        let uniform = 1.0 / n as f64;
+        let mut rank = vec![uniform; n];
+        let out_sum: Vec<f64> = g
+            .node_ids()
+            .map(|u| {
+                g.out_edges(u)
+                    .iter()
+                    .map(|&e| edge_weight(g.edge(e)).max(0.0))
+                    .sum()
+            })
+            .collect();
+        let mut next = vec![0.0f64; n];
+        for _ in 0..iterations {
+            next.fill(0.0);
+            let mut dangling_mass = 0.0;
+            for u in g.node_ids() {
+                let ui = u.index();
+                if out_sum[ui] <= 1e-15 {
+                    dangling_mass += rank[ui];
+                    continue;
+                }
+                for &e in g.out_edges(u) {
+                    let w = edge_weight(g.edge(e)).max(0.0);
+                    let (_, t) = g.endpoints(e);
+                    next[t.index()] += rank[ui] * w / out_sum[ui];
+                }
+            }
+            let base = (1.0 - d) * uniform + d * dangling_mass * uniform;
+            for r in next.iter_mut() {
+                *r = base + d * *r;
+            }
+            std::mem::swap(&mut rank, &mut next);
+        }
+        rank
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::builder::GraphBuilder;
 
-    /// Two weakly connected components: a→b→c and d→e.
-    fn two_components() -> (DiGraph<(), ()>, Vec<NodeId>) {
-        let mut g = DiGraph::new();
-        let ids: Vec<NodeId> = (0..5).map(|_| g.add_node(())).collect();
-        g.add_edge(ids[0], ids[1], ());
-        g.add_edge(ids[1], ids[2], ());
-        g.add_edge(ids[3], ids[4], ());
-        (g, ids)
+    fn csr_from_edges(n: usize, edges: &[(u32, u32)]) -> CsrGraph<(), f64> {
+        let mut b = GraphBuilder::new();
+        for &(s, t) in edges {
+            b.add_edge(NodeId(s), NodeId(t), 1.0);
+        }
+        b.build(vec![(); n], |acc, w| *acc += w)
+    }
+
+    /// Two weakly connected components: 0→1→2 and 3→4.
+    fn two_components() -> CsrGraph<(), f64> {
+        csr_from_edges(5, &[(0, 1), (1, 2), (3, 4)])
     }
 
     #[test]
     fn bfs_undirected_covers_component() {
-        let (g, ids) = two_components();
-        let order = bfs_undirected(&g, ids[2]);
+        let g = two_components();
+        let order = bfs_undirected(&g, NodeId(2));
         assert_eq!(order.len(), 3);
-        assert_eq!(order[0], ids[2]);
-        assert!(order.contains(&ids[0]));
+        assert_eq!(order[0], NodeId(2));
+        assert!(order.contains(&NodeId(0)));
     }
 
     #[test]
     fn bfs_directed_respects_direction() {
-        let (g, ids) = two_components();
-        // From c nothing is reachable but c itself.
-        assert_eq!(bfs_directed(&g, ids[2]), vec![ids[2]]);
-        // From a the whole chain is reachable.
-        assert_eq!(bfs_directed(&g, ids[0]).len(), 3);
+        let g = two_components();
+        assert_eq!(bfs_directed(&g, NodeId(2)), vec![NodeId(2)]);
+        assert_eq!(bfs_directed(&g, NodeId(0)).len(), 3);
+    }
+
+    #[test]
+    fn bfs_order_deterministic_and_sorted_per_layer() {
+        // Star with spokes inserted out of order: BFS from the hub must
+        // visit spokes ascending (CSR slices are sorted).
+        let g = csr_from_edges(5, &[(0, 4), (0, 2), (0, 1), (0, 3)]);
+        assert_eq!(
+            bfs_directed(&g, NodeId(0)),
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3), NodeId(4)]
+        );
     }
 
     #[test]
     fn components_labelled() {
-        let (g, ids) = two_components();
+        let g = two_components();
         let (labels, count) = weakly_connected_components(&g);
         assert_eq!(count, 2);
-        assert_eq!(labels[ids[0].index()], labels[ids[2].index()]);
-        assert_eq!(labels[ids[3].index()], labels[ids[4].index()]);
-        assert_ne!(labels[ids[0].index()], labels[ids[3].index()]);
+        assert_eq!(labels[0], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[0], labels[3]);
     }
 
     #[test]
     fn reachability() {
-        let (g, ids) = two_components();
-        assert!(is_reachable(&g, ids[0], ids[2]));
-        assert!(!is_reachable(&g, ids[2], ids[0]));
-        assert!(!is_reachable(&g, ids[0], ids[4]));
-        assert!(is_reachable(&g, ids[0], ids[0]));
+        let g = two_components();
+        assert!(is_reachable(&g, NodeId(0), NodeId(2)));
+        assert!(!is_reachable(&g, NodeId(2), NodeId(0)));
+        assert!(!is_reachable(&g, NodeId(0), NodeId(4)));
+        assert!(is_reachable(&g, NodeId(0), NodeId(0)));
     }
 
     #[test]
     fn degree_ordering() {
-        let mut g: DiGraph<(), ()> = DiGraph::new();
-        let a = g.add_node(());
-        let b = g.add_node(());
-        let c = g.add_node(());
-        g.add_edge(a, b, ());
-        g.add_edge(c, b, ());
+        let g = csr_from_edges(3, &[(0, 1), (2, 1)]);
         let order = nodes_by_degree(&g);
-        assert_eq!(order[0], b);
+        assert_eq!(order[0], NodeId(1));
     }
 
     #[test]
     fn empty_graph() {
-        let g: DiGraph<(), ()> = DiGraph::new();
+        let g: CsrGraph<(), f64> = CsrGraph::vertices_only(Vec::new());
         let (labels, count) = weakly_connected_components(&g);
         assert!(labels.is_empty());
         assert_eq!(count, 0);
@@ -210,69 +351,58 @@ mod tests {
 
     #[test]
     fn single_node_self_loop() {
-        let mut g: DiGraph<(), ()> = DiGraph::new();
-        let a = g.add_node(());
-        g.add_edge(a, a, ());
+        let g = csr_from_edges(1, &[(0, 0)]);
         let (labels, count) = weakly_connected_components(&g);
         assert_eq!(count, 1);
         assert_eq!(labels, vec![0]);
-        assert!(is_reachable(&g, a, a));
+        assert!(is_reachable(&g, NodeId(0), NodeId(0)));
     }
 
     #[test]
     fn pagerank_sums_to_one_and_ranks_hub() {
-        // Star: spokes all point at a hub.
-        let mut g: DiGraph<(), f64> = DiGraph::new();
-        let hub = g.add_node(());
-        let spokes: Vec<NodeId> = (0..4).map(|_| g.add_node(())).collect();
-        for &s in &spokes {
-            g.add_edge(s, hub, 1.0);
-        }
+        // Star: spokes all point at a hub (node 0).
+        let g = csr_from_edges(5, &[(1, 0), (2, 0), (3, 0), (4, 0)]);
         let pr = pagerank(&g, 0.85, 50, |&w| w);
         let total: f64 = pr.iter().sum();
         assert!((total - 1.0).abs() < 1e-9, "sum {total}");
-        for &s in &spokes {
-            assert!(pr[hub.index()] > pr[s.index()], "hub must dominate");
+        for s in 1..5 {
+            assert!(pr[0] > pr[s], "hub must dominate");
         }
     }
 
     #[test]
     fn pagerank_respects_edge_weights() {
-        // a sends most weight to b, a little to c.
-        let mut g: DiGraph<(), f64> = DiGraph::new();
-        let a = g.add_node(());
-        let b = g.add_node(());
-        let c = g.add_node(());
-        g.add_edge(a, b, 9.0);
-        g.add_edge(a, c, 1.0);
-        // Return edges keep the chain ergodic.
-        g.add_edge(b, a, 1.0);
-        g.add_edge(c, a, 1.0);
+        // 0 sends most weight to 1, a little to 2; return edges keep the
+        // chain ergodic.
+        let mut b = GraphBuilder::new();
+        b.add_edge(NodeId(0), NodeId(1), 9.0);
+        b.add_edge(NodeId(0), NodeId(2), 1.0);
+        b.add_edge(NodeId(1), NodeId(0), 1.0);
+        b.add_edge(NodeId(2), NodeId(0), 1.0);
+        let g = b.build(vec![(); 3], |acc, w| *acc += w);
         let pr = pagerank(&g, 0.85, 100, |&w| w);
-        assert!(pr[b.index()] > pr[c.index()]);
+        assert!(pr[1] > pr[2]);
     }
 
     #[test]
     fn pagerank_uniform_on_cycle() {
-        let mut g: DiGraph<(), f64> = DiGraph::new();
-        let ids: Vec<NodeId> = (0..5).map(|_| g.add_node(())).collect();
-        for i in 0..5 {
-            g.add_edge(ids[i], ids[(i + 1) % 5], 1.0);
-        }
+        let edges: Vec<(u32, u32)> = (0..5).map(|i| (i, (i + 1) % 5)).collect();
+        let g = csr_from_edges(5, &edges);
         let pr = pagerank(&g, 0.85, 100, |&w| w);
         for &r in &pr {
-            assert!((r - 0.2).abs() < 1e-9, "cycle should be uniform, got {pr:?}");
+            assert!(
+                (r - 0.2).abs() < 1e-9,
+                "cycle should be uniform, got {pr:?}"
+            );
         }
     }
 
     #[test]
     fn pagerank_degenerate() {
-        let empty: DiGraph<(), f64> = DiGraph::new();
+        let empty: CsrGraph<(), f64> = CsrGraph::vertices_only(Vec::new());
         assert!(pagerank(&empty, 0.85, 10, |&w| w).is_empty());
         // All-dangling graph stays uniform.
-        let mut g: DiGraph<(), f64> = DiGraph::new();
-        g.add_node(());
-        g.add_node(());
+        let g: CsrGraph<(), f64> = CsrGraph::vertices_only(vec![(), ()]);
         let pr = pagerank(&g, 0.85, 10, |&w| w);
         assert!((pr[0] - 0.5).abs() < 1e-9);
         assert!((pr[1] - 0.5).abs() < 1e-9);

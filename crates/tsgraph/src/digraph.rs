@@ -59,12 +59,18 @@ impl<N, E> Default for DiGraph<N, E> {
 impl<N, E> DiGraph<N, E> {
     /// Creates an empty graph.
     pub fn new() -> Self {
-        DiGraph { nodes: Vec::new(), edges: Vec::new() }
+        DiGraph {
+            nodes: Vec::new(),
+            edges: Vec::new(),
+        }
     }
 
     /// Creates an empty graph with pre-reserved capacity.
     pub fn with_capacity(nodes: usize, edges: usize) -> Self {
-        DiGraph { nodes: Vec::with_capacity(nodes), edges: Vec::with_capacity(edges) }
+        DiGraph {
+            nodes: Vec::with_capacity(nodes),
+            edges: Vec::with_capacity(edges),
+        }
     }
 
     /// Number of nodes.
@@ -80,7 +86,11 @@ impl<N, E> DiGraph<N, E> {
     /// Adds a node, returning its id.
     pub fn add_node(&mut self, weight: N) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(NodeEntry { weight, out_edges: Vec::new(), in_edges: Vec::new() });
+        self.nodes.push(NodeEntry {
+            weight,
+            out_edges: Vec::new(),
+            in_edges: Vec::new(),
+        });
         id
     }
 
@@ -88,10 +98,20 @@ impl<N, E> DiGraph<N, E> {
     ///
     /// Panics if either endpoint is not in the graph.
     pub fn add_edge(&mut self, source: NodeId, target: NodeId, weight: E) -> EdgeId {
-        assert!(source.index() < self.nodes.len(), "source node out of range");
-        assert!(target.index() < self.nodes.len(), "target node out of range");
+        assert!(
+            source.index() < self.nodes.len(),
+            "source node out of range"
+        );
+        assert!(
+            target.index() < self.nodes.len(),
+            "target node out of range"
+        );
         let id = EdgeId(self.edges.len() as u32);
-        self.edges.push(EdgeEntry { weight, source, target });
+        self.edges.push(EdgeEntry {
+            weight,
+            source,
+            target,
+        });
         self.nodes[source.index()].out_edges.push(id);
         self.nodes[target.index()].in_edges.push(id);
         id
@@ -190,7 +210,10 @@ impl<N, E> DiGraph<N, E> {
 
     /// Iterator over `(id, payload)` for all nodes.
     pub fn nodes_iter(&self) -> impl Iterator<Item = (NodeId, &N)> {
-        self.nodes.iter().enumerate().map(|(i, n)| (NodeId(i as u32), &n.weight))
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeId(i as u32), &n.weight))
     }
 
     /// Iterator over `(id, source, target, payload)` for all edges.
@@ -207,7 +230,10 @@ impl<N: Clone, E: Clone> DiGraph<N, E> {
     ///
     /// Returns the new graph together with the mapping from old to new node
     /// ids (`None` for dropped nodes). Edges survive iff both endpoints do.
-    pub fn filter_nodes(&self, mut keep: impl FnMut(NodeId, &N) -> bool) -> (Self, Vec<Option<NodeId>>) {
+    pub fn filter_nodes(
+        &self,
+        mut keep: impl FnMut(NodeId, &N) -> bool,
+    ) -> (Self, Vec<Option<NodeId>>) {
         let mut mapping: Vec<Option<NodeId>> = vec![None; self.nodes.len()];
         let mut out = DiGraph::with_capacity(self.nodes.len(), self.edges.len());
         for (id, w) in self.nodes_iter() {

@@ -3,9 +3,11 @@
 //! The Graph frame draws the k-Graph embedding as a node-link diagram. Two
 //! layouts are provided: a deterministic circular layout (stable fallback)
 //! and Fruchterman–Reingold force-directed layout (readable at the 20–200
-//! node sizes the pipeline produces).
+//! node sizes the pipeline produces). Both read the CSR view
+//! ([`CsrGraph`]); its deterministic edge order makes layouts stable
+//! across re-renders of the same graph.
 
-use crate::digraph::DiGraph;
+use crate::csr::CsrGraph;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -16,7 +18,7 @@ pub type Layout = Vec<(f64, f64)>;
 ///
 /// Order follows node ids, so the layout is deterministic and stable under
 /// re-rendering.
-pub fn circular<N, E>(g: &DiGraph<N, E>, radius: f64) -> Layout {
+pub fn circular<N, E>(g: &CsrGraph<N, E>, radius: f64) -> Layout {
     let n = g.node_count();
     (0..n)
         .map(|i| {
@@ -39,7 +41,11 @@ pub struct ForceOptions {
 
 impl Default for ForceOptions {
     fn default() -> Self {
-        ForceOptions { iterations: 150, area: 1000.0, seed: 42 }
+        ForceOptions {
+            iterations: 150,
+            area: 1000.0,
+            seed: 42,
+        }
     }
 }
 
@@ -48,7 +54,7 @@ impl Default for ForceOptions {
 /// Repulsive forces act between every node pair, attractive forces along
 /// edges; displacement is capped by a linearly cooling temperature. Runs in
 /// O(iterations · n²), fine for the graph sizes of this system.
-pub fn force_directed<N, E>(g: &DiGraph<N, E>, opts: ForceOptions) -> Layout {
+pub fn force_directed<N, E>(g: &CsrGraph<N, E>, opts: ForceOptions) -> Layout {
     let n = g.node_count();
     if n == 0 {
         return Vec::new();
@@ -59,7 +65,12 @@ pub fn force_directed<N, E>(g: &DiGraph<N, E>, opts: ForceOptions) -> Layout {
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let side = opts.area;
     let mut pos: Layout = (0..n)
-        .map(|_| (rng.gen_range(-side / 2.0..side / 2.0), rng.gen_range(-side / 2.0..side / 2.0)))
+        .map(|_| {
+            (
+                rng.gen_range(-side / 2.0..side / 2.0),
+                rng.gen_range(-side / 2.0..side / 2.0),
+            )
+        })
         .collect();
     // Ideal pairwise distance for the available area.
     let k = (side * side / n as f64).sqrt();
@@ -143,15 +154,15 @@ pub fn fit_to_viewport(layout: &Layout, width: f64, height: f64, margin: f64) ->
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::digraph::DiGraph;
+    use crate::builder::GraphBuilder;
+    use crate::digraph::NodeId;
 
-    fn path_graph(n: usize) -> DiGraph<(), ()> {
-        let mut g = DiGraph::new();
-        let ids: Vec<_> = (0..n).map(|_| g.add_node(())).collect();
-        for w in ids.windows(2) {
-            g.add_edge(w[0], w[1], ());
+    fn path_graph(n: usize) -> CsrGraph<(), ()> {
+        let mut b = GraphBuilder::new();
+        for i in 1..n {
+            b.add_edge(NodeId(i as u32 - 1), NodeId(i as u32), ());
         }
-        g
+        b.build(vec![(); n], |_, _| {})
     }
 
     #[test]
@@ -172,7 +183,13 @@ mod tests {
         let a = force_directed(&g, ForceOptions::default());
         let b = force_directed(&g, ForceOptions::default());
         assert_eq!(a, b);
-        let c = force_directed(&g, ForceOptions { seed: 7, ..ForceOptions::default() });
+        let c = force_directed(
+            &g,
+            ForceOptions {
+                seed: 7,
+                ..ForceOptions::default()
+            },
+        );
         assert_ne!(a, c);
     }
 
@@ -193,32 +210,44 @@ mod tests {
         // A path 0-1-2-...-9: endpoints should end up farther apart than
         // adjacent pairs on average.
         let g = path_graph(10);
-        let pos = force_directed(&g, ForceOptions { iterations: 400, ..Default::default() });
+        let pos = force_directed(
+            &g,
+            ForceOptions {
+                iterations: 400,
+                ..Default::default()
+            },
+        );
         let d = |i: usize, j: usize| {
             ((pos[i].0 - pos[j].0).powi(2) + (pos[i].1 - pos[j].1).powi(2)).sqrt()
         };
         let adjacent: f64 = (0..9).map(|i| d(i, i + 1)).sum::<f64>() / 9.0;
-        assert!(d(0, 9) > adjacent, "endpoints {:.1} vs adjacent {:.1}", d(0, 9), adjacent);
+        assert!(
+            d(0, 9) > adjacent,
+            "endpoints {:.1} vs adjacent {:.1}",
+            d(0, 9),
+            adjacent
+        );
     }
 
     #[test]
     fn degenerate_graphs() {
-        let empty: DiGraph<(), ()> = DiGraph::new();
+        let empty: CsrGraph<(), ()> = CsrGraph::vertices_only(Vec::new());
         assert!(force_directed(&empty, ForceOptions::default()).is_empty());
         assert!(circular(&empty, 1.0).is_empty());
 
-        let mut single: DiGraph<(), ()> = DiGraph::new();
-        single.add_node(());
-        assert_eq!(force_directed(&single, ForceOptions::default()), vec![(0.0, 0.0)]);
+        let single: CsrGraph<(), ()> = CsrGraph::vertices_only(vec![()]);
+        assert_eq!(
+            force_directed(&single, ForceOptions::default()),
+            vec![(0.0, 0.0)]
+        );
     }
 
     #[test]
     fn self_loops_do_not_explode() {
-        let mut g: DiGraph<(), ()> = DiGraph::new();
-        let a = g.add_node(());
-        let b = g.add_node(());
-        g.add_edge(a, a, ());
-        g.add_edge(a, b, ());
+        let mut b = GraphBuilder::new();
+        b.add_edge(NodeId(0), NodeId(0), ());
+        b.add_edge(NodeId(0), NodeId(1), ());
+        let g = b.build(vec![(); 2], |_, _| {});
         let pos = force_directed(&g, ForceOptions::default());
         assert!(pos.iter().all(|p| p.0.is_finite() && p.1.is_finite()));
     }

@@ -1,22 +1,50 @@
 //! # tsgraph — directed weighted graphs for k-Graph
 //!
-//! A small, from-scratch graph arena tailored to what the k-Graph pipeline
-//! and the Graphint Graph frame need:
+//! Graph substrate of the Graphint / k-Graph reproduction. Two storage
+//! layers with one clear division of labour:
 //!
-//! * [`DiGraph`] — arena-indexed directed graph with node and edge payloads,
-//!   O(1) node/edge access by id, per-node adjacency lists, and edge lookup
-//!   between endpoints,
-//! * [`algo`] — weakly connected components, BFS traversal, reachability and
-//!   payload-predicate subgraph extraction (used for graphoid subgraphs),
+//! ## Architecture: `DiGraph` builds, `CsrGraph` queries
+//!
+//! * [`CsrGraph`] (module [`csr`]) — the **query-time** representation
+//!   every consumer reads from. Compressed sparse row: per-direction
+//!   offset/target/weight arrays, O(1) degrees, neighbours and per-node
+//!   edge payloads as contiguous sorted slices, O(log deg) edge lookup
+//!   ([`CsrGraph::edge_id`]) and deterministic iteration order. The
+//!   k-Graph pipeline stores every `G_ℓ` in this form; features, graphoid
+//!   statistics, anomaly scoring, the algorithms below and the Graphint
+//!   Graph frame all run against it.
+//! * [`builder::GraphBuilder`] — the **construction** path. Consumers emit
+//!   raw `(src, dst, weight)` triples (one per observed transition, no
+//!   lookups), and `build` produces the CSR graph via a parallel chunked
+//!   sort followed by a run-length aggregation of duplicate edges. This
+//!   replaces the old per-edge `edge_between` probing, which made graph
+//!   construction O(E·deg).
+//! * [`DiGraph`] (module [`digraph`]) — the mutable escape hatch for
+//!   callers that genuinely need incremental node/edge insertion with
+//!   stable ids (tests, ad-hoc graph assembly). Convert losslessly with
+//!   [`CsrGraph::from_digraph`] (parallel edges aggregate through the
+//!   supplied merge) before querying; nothing on the hot path should scan
+//!   `DiGraph` adjacency lists.
+//!
+//! Supporting modules:
+//!
+//! * [`algo`] — CSR-native breadth-first traversal, weakly connected
+//!   components, reachability, degree ordering and weighted PageRank
+//!   (plus `algo::reference` DiGraph implementations kept for parity
+//!   testing),
 //! * [`layout`] — circular and Fruchterman–Reingold force-directed 2-D
-//!   layouts for rendering graphs in the Graph frame.
+//!   layouts over CSR graphs for the Graph frame.
 //!
-//! This replaces `petgraph` (kept out deliberately; the dependency budget of
-//! the reproduction is limited to rand/proptest/criterion/crossbeam/
-//! parking_lot/bytes/serde and the required surface is tiny).
+//! This replaces `petgraph` (kept out deliberately; the dependency budget
+//! of the reproduction is limited to the local shims plus the std
+//! library, and the required surface is tiny).
 
 pub mod algo;
+pub mod builder;
+pub mod csr;
 pub mod digraph;
 pub mod layout;
 
+pub use builder::GraphBuilder;
+pub use csr::CsrGraph;
 pub use digraph::{DiGraph, EdgeId, NodeId};

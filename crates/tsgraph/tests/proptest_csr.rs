@@ -1,0 +1,186 @@
+//! Property tests for the CSR layer: DiGraph → CSR round-trip invariants
+//! and behavioural parity between the CSR-native algorithms and the
+//! DiGraph reference implementations in `algo::reference`.
+
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+use tsgraph::algo;
+use tsgraph::{CsrGraph, DiGraph, GraphBuilder, NodeId};
+
+/// Random multigraph: node count plus an edge list with integer-valued
+/// weights (exact float arithmetic keeps aggregation checks exact).
+fn multigraph() -> impl Strategy<Value = (usize, Vec<(usize, usize, u32)>)> {
+    (1usize..24).prop_flat_map(|n| {
+        (
+            n..=n,
+            proptest::collection::vec((0..n, 0..n, 1u32..8), 0..120),
+        )
+    })
+}
+
+fn digraph_of(n: usize, edges: &[(usize, usize, u32)]) -> DiGraph<usize, f64> {
+    let mut g = DiGraph::new();
+    for i in 0..n {
+        g.add_node(i);
+    }
+    for &(s, t, w) in edges {
+        g.add_edge(NodeId(s as u32), NodeId(t as u32), w as f64);
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn aggregation_preserves_weight_sums((n, edges) in multigraph()) {
+        let g = digraph_of(n, &edges);
+        let csr = CsrGraph::from_digraph(&g, |acc, w| *acc += w);
+
+        // Total weight is conserved through aggregation.
+        let total_di: f64 = g.edges_iter().map(|(_, _, _, &w)| w).sum();
+        let total_csr: f64 = csr.edges_iter().map(|(_, _, _, &w)| w).sum();
+        prop_assert!((total_di - total_csr).abs() < 1e-9, "{total_di} vs {total_csr}");
+
+        // Per-pair weights equal the sum over parallel DiGraph edges.
+        let mut expected: BTreeMap<(u32, u32), f64> = BTreeMap::new();
+        for (_, s, t, &w) in g.edges_iter() {
+            *expected.entry((s.0, t.0)).or_insert(0.0) += w;
+        }
+        prop_assert_eq!(csr.edge_count(), expected.len());
+        for ((s, t), w) in &expected {
+            let got = csr.weight_between(NodeId(*s), NodeId(*t));
+            prop_assert!(got.is_some(), "missing edge {s}->{t}");
+            prop_assert!((got.unwrap() - w).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn degrees_conserved_modulo_dedup((n, edges) in multigraph()) {
+        let g = digraph_of(n, &edges);
+        let csr = CsrGraph::from_digraph(&g, |acc, w| *acc += w);
+        prop_assert_eq!(csr.node_count(), g.node_count());
+        for u in g.node_ids() {
+            // CSR degree counts *distinct* neighbours.
+            let distinct_out: BTreeSet<u32> = g.successors(u).map(|v| v.0).collect();
+            let distinct_in: BTreeSet<u32> = g.predecessors(u).map(|v| v.0).collect();
+            prop_assert_eq!(csr.out_degree(u), distinct_out.len());
+            prop_assert_eq!(csr.in_degree(u), distinct_in.len());
+            prop_assert_eq!(csr.degree(u), distinct_out.len() + distinct_in.len());
+        }
+    }
+
+    #[test]
+    fn adjacency_sorted_and_deterministic((n, edges) in multigraph()) {
+        let g = digraph_of(n, &edges);
+        let csr = CsrGraph::from_digraph(&g, |acc, w| *acc += w);
+        for u in csr.node_ids() {
+            let nb = csr.out_neighbors(u);
+            prop_assert!(nb.windows(2).all(|w| w[0] < w[1]), "out-slice sorted, no dups");
+            let inb = csr.in_neighbors(u);
+            prop_assert!(inb.windows(2).all(|w| w[0] < w[1]), "in-slice sorted, no dups");
+            // edge_id agrees with slice membership.
+            for v in csr.node_ids() {
+                prop_assert_eq!(csr.edge_id(u, v).is_some(), nb.contains(&v));
+            }
+        }
+        // Rebuilding from reversed insertion order yields the identical
+        // graph (deterministic ids, targets and weights).
+        let mut b = GraphBuilder::new();
+        for &(s, t, w) in edges.iter().rev() {
+            b.add_edge(NodeId(s as u32), NodeId(t as u32), w as f64);
+        }
+        let csr2 = b.build((0..n).collect::<Vec<usize>>(), |acc, w| *acc += w);
+        prop_assert_eq!(csr.edge_count(), csr2.edge_count());
+        for (e, s, t, w) in csr.edges_iter() {
+            prop_assert_eq!(csr2.endpoints(e), (s, t));
+            prop_assert!((csr2.edge(e) - w).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn node_payloads_survive_round_trip((n, edges) in multigraph()) {
+        let g = digraph_of(n, &edges);
+        let csr = CsrGraph::from_digraph(&g, |acc, w| *acc += w);
+        for (id, &payload) in csr.nodes_iter() {
+            prop_assert_eq!(payload, id.index());
+        }
+    }
+
+    #[test]
+    fn bfs_parity_with_reference((n, edges) in multigraph()) {
+        let g = digraph_of(n, &edges);
+        let csr = CsrGraph::from_digraph(&g, |acc, w| *acc += w);
+        for start in g.node_ids() {
+            // Visit *sets* must agree (orders differ: the reference walks
+            // insertion order, CSR walks sorted slices); the CSR order
+            // itself must be deterministic.
+            let di: BTreeSet<u32> =
+                algo::reference::bfs_directed(&g, start).into_iter().map(|v| v.0).collect();
+            let cs: BTreeSet<u32> =
+                algo::bfs_directed(&csr, start).into_iter().map(|v| v.0).collect();
+            prop_assert_eq!(&di, &cs, "directed reach from {:?}", start);
+            let diu: BTreeSet<u32> =
+                algo::reference::bfs_undirected(&g, start).into_iter().map(|v| v.0).collect();
+            let csu: BTreeSet<u32> =
+                algo::bfs_undirected(&csr, start).into_iter().map(|v| v.0).collect();
+            prop_assert_eq!(&diu, &csu, "undirected reach from {:?}", start);
+            prop_assert_eq!(
+                algo::bfs_directed(&csr, start),
+                algo::bfs_directed(&csr, start)
+            );
+        }
+    }
+
+    #[test]
+    fn component_parity_with_reference((n, edges) in multigraph()) {
+        let g = digraph_of(n, &edges);
+        let csr = CsrGraph::from_digraph(&g, |acc, w| *acc += w);
+        let (di_labels, di_count) = algo::reference::weakly_connected_components(&g);
+        let (cs_labels, cs_count) = algo::weakly_connected_components(&csr);
+        prop_assert_eq!(di_count, cs_count);
+        // Same partition up to label permutation.
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert_eq!(
+                    di_labels[i] == di_labels[j],
+                    cs_labels[i] == cs_labels[j],
+                    "{i} vs {j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pagerank_parity_within_1e9((n, edges) in multigraph()) {
+        let g = digraph_of(n, &edges);
+        let csr = CsrGraph::from_digraph(&g, |acc, w| *acc += w);
+        // The reference runs on the multigraph, CSR on the aggregated
+        // graph — per-node out-weight sums are identical, so the scores
+        // must match to numerical noise.
+        let pr_di = algo::reference::pagerank(&g, 0.85, 60, |&w: &f64| w);
+        let pr_cs = algo::pagerank(&csr, 0.85, 60, |&w: &f64| w);
+        prop_assert_eq!(pr_di.len(), pr_cs.len());
+        for (a, b) in pr_di.iter().zip(&pr_cs) {
+            prop_assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn filter_nodes_parity((n, edges) in multigraph()) {
+        let g = digraph_of(n, &edges);
+        let csr = CsrGraph::from_digraph(&g, |acc, w| *acc += w);
+        // Keep even-indexed nodes on both representations.
+        let (di_sub, di_map) = g.filter_nodes(|id, _| id.index() % 2 == 0);
+        let (cs_sub, cs_map) = csr.filter_nodes(|id, _| id.index() % 2 == 0);
+        prop_assert_eq!(di_sub.node_count(), cs_sub.node_count());
+        prop_assert_eq!(&di_map, &cs_map);
+        // The filtered DiGraph aggregates to exactly the filtered CSR.
+        let di_sub_csr = CsrGraph::from_digraph(&di_sub, |acc, w| *acc += w);
+        prop_assert_eq!(di_sub_csr.edge_count(), cs_sub.edge_count());
+        for (e, s, t, w) in di_sub_csr.edges_iter() {
+            prop_assert_eq!(cs_sub.endpoints(e), (s, t));
+            prop_assert!((cs_sub.edge(e) - w).abs() < 1e-9);
+        }
+    }
+}

@@ -25,8 +25,12 @@ fn main() {
         })
         .collect();
     let dataset = Dataset::new("periodic", DatasetKind::Sensor, series);
-    let cfg = KGraphConfig { n_lengths: 1, psi: 20, ..KGraphConfig::new(1) }
-        .with_lengths(vec![25]);
+    let cfg = KGraphConfig {
+        n_lengths: 1,
+        psi: 20,
+        ..KGraphConfig::new(1)
+    }
+    .with_lengths(vec![25]);
     let model = KGraph::new(cfg).fit(&dataset);
     println!(
         "fitted on clean data: graph has {} nodes, {} edges (ℓ = {})",

@@ -20,9 +20,18 @@ fn main() {
     let frame = ComparisonFrame::build(
         &dataset,
         &[
-            MethodPartition { name: "k-Graph".into(), labels: model.labels.clone() },
-            MethodPartition { name: "k-Means".into(), labels: kmeans },
-            MethodPartition { name: "k-Shape".into(), labels: kshape },
+            MethodPartition {
+                name: "k-Graph".into(),
+                labels: model.labels.clone(),
+            },
+            MethodPartition {
+                name: "k-Means".into(),
+                labels: kmeans,
+            },
+            MethodPartition {
+                name: "k-Shape".into(),
+                labels: kshape,
+            },
         ],
     );
     println!("{}", frame.summary());

@@ -25,9 +25,18 @@ fn main() {
     let comparison = ComparisonFrame::build(
         &dataset,
         &[
-            MethodPartition { name: "k-Graph".into(), labels: model.labels.clone() },
-            MethodPartition { name: "k-Means".into(), labels: kmeans },
-            MethodPartition { name: "k-Shape".into(), labels: kshape },
+            MethodPartition {
+                name: "k-Graph".into(),
+                labels: model.labels.clone(),
+            },
+            MethodPartition {
+                name: "k-Means".into(),
+                labels: kmeans,
+            },
+            MethodPartition {
+                name: "k-Shape".into(),
+                labels: kshape,
+            },
         ],
     );
     report.section("Frame 1.1 — Clustering comparison");
@@ -45,7 +54,14 @@ fn main() {
     report.add_svg(&graph_frame.render_graph());
 
     // Frame 3: interpretability test (simulated users).
-    let quiz = QuizFrame::run(&dataset, QuizConfig { trials: 10, ..QuizConfig::new(k, 3) }, None);
+    let quiz = QuizFrame::run(
+        &dataset,
+        QuizConfig {
+            trials: 10,
+            ..QuizConfig::new(k, 3)
+        },
+        None,
+    );
     report.section("Frame 3 — Interpretability test");
     report.add_pre(&quiz.summary());
 

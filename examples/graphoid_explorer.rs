@@ -24,8 +24,14 @@ fn main() {
     // Scenario 2's task: find λ and γ so that every cluster has at least
     // one coloured node. GraphFrame searches the largest such thresholds.
     let frame = GraphFrame::with_auto_thresholds(&model);
-    println!("auto thresholds: λ = {:.2}, γ = {:.2}", frame.lambda, frame.gamma);
-    println!("coloured nodes per cluster: {:?}", frame.colored_nodes_per_cluster());
+    println!(
+        "auto thresholds: λ = {:.2}, γ = {:.2}",
+        frame.lambda, frame.gamma
+    );
+    println!(
+        "coloured nodes per cluster: {:?}",
+        frame.colored_nodes_per_cluster()
+    );
 
     // Inspect each cluster's most exclusive node: its pattern is the
     // discriminative subsequence the paper talks about.
@@ -54,6 +60,8 @@ fn main() {
     let mut report = Report::new("Graphoid explorer — EcgLike");
     report.section("The graph, coloured by graphoid ownership");
     report.add_svg(&frame.render_graph());
-    report.write(&dir.join("explorer.html")).expect("write report");
+    report
+        .write(&dir.join("explorer.html"))
+        .expect("write report");
     println!("\nwrote {}", dir.join("explorer.html").display());
 }

@@ -33,7 +33,10 @@ fn main() {
     println!("k-Graph clustered {} into {k} clusters.", dataset.name());
     println!("Per-cluster exclusive patterns (what you get to look at):\n");
     for (c, g) in graphoids.iter().enumerate() {
-        println!("cluster {c} — {} exclusive nodes; dominant patterns:", g.nodes.len());
+        println!(
+            "cluster {c} — {} exclusive nodes; dominant patterns:",
+            g.nodes.len()
+        );
         for node in g.nodes.iter().take(3) {
             let pattern = &model.best().graph.node(*node).pattern;
             println!("    {}", sparkline(pattern));
@@ -43,7 +46,10 @@ fn main() {
     let quiz = Quiz::generate(dataset.len(), 5, 99);
     let mut correct = 0;
     for (qn, &idx) in quiz.questions.iter().enumerate() {
-        println!("\nQuestion {}: which cluster does this series belong to?", qn + 1);
+        println!(
+            "\nQuestion {}: which cluster does this series belong to?",
+            qn + 1
+        );
         println!("    {}", sparkline(dataset.series()[idx].values()));
         print!("your answer (0-{}): ", k - 1);
         std::io::stdout().flush().ok();

@@ -33,8 +33,7 @@ pub use tsgraph;
 pub mod prelude {
     pub use clustering::method::{ClusteringMethod, MethodKind};
     pub use clustering::metrics::{
-        adjusted_mutual_information, adjusted_rand_index, normalized_mutual_information,
-        rand_index,
+        adjusted_mutual_information, adjusted_rand_index, normalized_mutual_information, rand_index,
     };
     pub use graphint::frames::benchmark::{BenchmarkFrame, Filter, Measure};
     pub use graphint::frames::comparison::{ComparisonFrame, MethodPartition};

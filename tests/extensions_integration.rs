@@ -39,15 +39,18 @@ fn anomaly_scoring_on_benchmark_dataset() {
     // sawtooth) into a fresh series. Note: a pure amplitude spike would be
     // z-normalised away by design — the embedding sees shapes, not gains.
     let ds = graphint_repro::datasets::shapes::chirp_like(12, 160, 7);
-    let cfg = KGraphConfig { n_lengths: 1, psi: 16, ..KGraphConfig::new(3) }
-        .with_lengths(vec![20]);
+    let cfg = KGraphConfig {
+        n_lengths: 1,
+        psi: 16,
+        ..KGraphConfig::new(3)
+    }
+    .with_lengths(vec![20]);
     let model = KGraph::new(cfg).fit(&ds);
     let mut fresh = ds.series()[0].values().to_vec();
     for (j, v) in fresh.iter_mut().skip(80).take(20).enumerate() {
         *v = if j % 2 == 0 { 1.5 } else { -1.5 };
     }
-    let scores =
-        graphint_repro::kgraph::anomaly::anomaly_scores(model.best(), &fresh, 5).unwrap();
+    let scores = graphint_repro::kgraph::anomaly::anomaly_scores(model.best(), &fresh, 5).unwrap();
     let top = graphint_repro::kgraph::anomaly::top_anomalies(&scores, 1, 10);
     assert_eq!(top.len(), 1);
     // Window length 20 ⇒ windows 60..100 overlap the injected 80..100 zone.

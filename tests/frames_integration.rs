@@ -25,8 +25,14 @@ fn all_five_frames_render() {
     let comparison = ComparisonFrame::build(
         &ds,
         &[
-            MethodPartition { name: "k-Graph".into(), labels: model.labels.clone() },
-            MethodPartition { name: "k-Means".into(), labels: kmeans.clone() },
+            MethodPartition {
+                name: "k-Graph".into(),
+                labels: model.labels.clone(),
+            },
+            MethodPartition {
+                name: "k-Means".into(),
+                labels: kmeans.clone(),
+            },
         ],
     );
     assert_eq!(comparison.panels.len(), 3);
@@ -44,12 +50,18 @@ fn all_five_frames_render() {
     // 2 graph
     let graph_frame = GraphFrame::with_auto_thresholds(&model);
     assert!(graph_frame.render_graph().contains("svg"));
-    assert!(graph_frame.colored_nodes_per_cluster().iter().all(|&c| c >= 1));
+    assert!(graph_frame
+        .colored_nodes_per_cluster()
+        .iter()
+        .all(|&c| c >= 1));
 
     // 3 quiz
     let quiz = QuizFrame::run(
         &ds,
-        QuizConfig { trials: 3, ..QuizConfig::new(3, 3) },
+        QuizConfig {
+            trials: 3,
+            ..QuizConfig::new(3, 3)
+        },
         Some(KGraphConfig {
             n_lengths: 2,
             psi: 12,
@@ -85,7 +97,11 @@ fn all_five_frames_render() {
     assert!(html.matches("<svg").count() >= 6);
 }
 
-fn bench_record(ds: &Dataset, method: &str, labels: &[usize]) -> graphint_repro::graphint::frames::benchmark::BenchmarkRecord {
+fn bench_record(
+    ds: &Dataset,
+    method: &str,
+    labels: &[usize],
+) -> graphint_repro::graphint::frames::benchmark::BenchmarkRecord {
     let truth = ds.labels().unwrap();
     graphint_repro::graphint::frames::benchmark::BenchmarkRecord {
         dataset: ds.name().to_string(),
@@ -117,7 +133,10 @@ fn graph_frame_highlights_are_within_series() {
 #[test]
 fn quiz_scores_bounded_and_reproducible() {
     let (ds, _) = fixture();
-    let cfg = QuizConfig { trials: 4, ..QuizConfig::new(3, 5) };
+    let cfg = QuizConfig {
+        trials: 4,
+        ..QuizConfig::new(3, 5)
+    };
     let kg_cfg = KGraphConfig {
         n_lengths: 2,
         psi: 12,

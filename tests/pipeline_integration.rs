@@ -57,7 +57,10 @@ fn kgraph_beats_raw_kmeans_on_motif_positions() {
 fn model_invariants_hold_across_datasets() {
     for (ds, k) in [
         (graphint_repro::datasets::cbf::cbf(6, 64, 5), 3usize),
-        (graphint_repro::datasets::two_patterns::two_patterns(5, 64, 5), 4),
+        (
+            graphint_repro::datasets::two_patterns::two_patterns(5, 64, 5),
+            4,
+        ),
         (graphint_repro::datasets::shapes::spectro_like(6, 100, 5), 4),
     ] {
         let model = KGraph::new(quick(k, 5)).fit(&ds);
@@ -103,7 +106,10 @@ fn graphoid_exclusivity_partition_property() {
         let total: f64 = (0..3).map(|c| stats.node_exclusivity(c, n)).sum();
         let crossed: usize = (0..3).map(|c| stats.node_crossings[c][n]).sum();
         if crossed > 0 {
-            assert!((total - 1.0).abs() < 1e-9, "node {n} exclusivity sum {total}");
+            assert!(
+                (total - 1.0).abs() < 1e-9,
+                "node {n} exclusivity sum {total}"
+            );
         }
     }
 }
