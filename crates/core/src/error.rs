@@ -37,6 +37,11 @@ pub enum TsError {
     },
     /// Failure while parsing an on-disk dataset file.
     Parse(String),
+    /// A fitted artefact was degenerate (e.g. a graph layer with no nodes,
+    /// or a corrupt model file). Unlike the other variants this signals a
+    /// problem on the *model* side rather than with the caller's input —
+    /// servers should map it to a 5xx, not a 4xx.
+    Degenerate(String),
 }
 
 impl fmt::Display for TsError {
@@ -53,6 +58,7 @@ impl fmt::Display for TsError {
                 write!(f, "label mismatch: {series} series but {labels} labels")
             }
             TsError::Parse(msg) => write!(f, "parse error: {msg}"),
+            TsError::Degenerate(msg) => write!(f, "degenerate model: {msg}"),
         }
     }
 }
@@ -82,6 +88,8 @@ mod tests {
         assert!(e.to_string().contains("5"));
         let e = TsError::Parse("bad float".into());
         assert!(e.to_string().contains("bad float"));
+        let e = TsError::Degenerate("empty graph".into());
+        assert!(e.to_string().contains("empty graph"));
     }
 
     #[test]

@@ -1,0 +1,128 @@
+//! `graphserve` — serve fitted k-Graph models over HTTP.
+//!
+//! ```text
+//! graphserve [--addr 127.0.0.1:7878] [--models-dir DIR] [--demo]
+//!            [--workers N] [--queue N] [--budget-mb N] [--port-file PATH]
+//! ```
+//!
+//! `--models-dir` loads every `*.kgm` file at startup (file stem = model
+//! name). `--demo` fits a small model named `demo` on the synthetic CBF
+//! dataset so the server is immediately usable. `--port-file` writes the
+//! bound address to a file once listening — that is how scripts (and CI)
+//! discover an ephemeral port.
+
+use graphserve::{ModelStore, Server, ServerConfig};
+use kgraph::{KGraph, KGraphConfig};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+struct Args {
+    addr: String,
+    models_dir: Option<PathBuf>,
+    demo: bool,
+    workers: usize,
+    queue: usize,
+    budget_mb: usize,
+    port_file: Option<PathBuf>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: graphserve [--addr HOST:PORT] [--models-dir DIR] [--demo] \
+         [--workers N] [--queue N] [--budget-mb N] [--port-file PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: "127.0.0.1:7878".to_string(),
+        models_dir: None,
+        demo: false,
+        workers: 0,
+        queue: 64,
+        budget_mb: 0,
+        port_file: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr"),
+            "--models-dir" => args.models_dir = Some(PathBuf::from(value("--models-dir"))),
+            "--demo" => args.demo = true,
+            "--workers" => args.workers = value("--workers").parse().unwrap_or_else(|_| usage()),
+            "--queue" => args.queue = value("--queue").parse().unwrap_or_else(|_| usage()),
+            "--budget-mb" => {
+                args.budget_mb = value("--budget-mb").parse().unwrap_or_else(|_| usage())
+            }
+            "--port-file" => args.port_file = Some(PathBuf::from(value("--port-file"))),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage();
+            }
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let store = Arc::new(ModelStore::new(args.budget_mb * 1024 * 1024));
+
+    if let Some(dir) = &args.models_dir {
+        match store.load_dir(dir) {
+            Ok(n) => eprintln!("loaded {n} model(s) from {}", dir.display()),
+            Err(e) => {
+                eprintln!("failed to load models from {}: {e}", dir.display());
+                std::process::exit(1);
+            }
+        }
+    }
+    if args.demo {
+        eprintln!("fitting demo model on CBF…");
+        let dataset = datasets::cbf::cbf(10, 128, 42);
+        let cfg = KGraphConfig {
+            n_lengths: 3,
+            ..KGraphConfig::new(3)
+        }
+        .with_seed(42);
+        let model = KGraph::new(cfg).fit(&dataset);
+        let bytes = store.insert("demo", Arc::new(model));
+        eprintln!("demo model ready ({bytes} bytes)");
+    }
+
+    let config = ServerConfig {
+        addr: args.addr,
+        workers: args.workers,
+        queue_capacity: args.queue,
+        ..ServerConfig::default()
+    };
+    let server = match Server::start(config, store) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("failed to start: {e}");
+            std::process::exit(1);
+        }
+    };
+    let addr = server.addr();
+    eprintln!("graphserve listening on http://{addr}");
+    if let Some(path) = &args.port_file {
+        if let Err(e) = std::fs::write(path, addr.to_string()) {
+            eprintln!("failed to write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+
+    // Serve until killed. The worker/accept threads hold the process open;
+    // parking the main thread costs nothing.
+    loop {
+        std::thread::park();
+    }
+}

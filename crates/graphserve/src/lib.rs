@@ -1,0 +1,37 @@
+//! # graphserve — a concurrent query server over shared immutable k-Graph models
+//!
+//! Serving layer for the k-Graph pipeline: fitted models are immutable
+//! (CSR graphs, PCA embeddings, label vectors), so any number of threads
+//! can score, embed, classify and render against one `Arc<KGraphModel>`
+//! without synchronisation. This crate adds the machinery around that
+//! fact:
+//!
+//! - [`store::ModelStore`] — a named registry of `Arc`-shared models with
+//!   a versioned-snapshot read path (zero locks in steady state) and LRU
+//!   eviction under a byte budget; models load from `*.kgm` files
+//!   ([`kgraph::serial`]) or are fitted on demand.
+//! - [`server::Server`] — a hand-rolled threaded HTTP/1.1 server (the
+//!   image carries no async runtime): one accept thread, a bounded
+//!   admission queue that sheds overload with a fast `503` +
+//!   `Retry-After`, a worker pool, per-request socket timeouts and a
+//!   drain-then-exit graceful shutdown.
+//! - [`routes`] — `score` / `features` / `predict` / `graphoid` /
+//!   `render` / `batch` endpoints speaking JSON (and CSV on request);
+//!   the batch endpoint fans rows over a bounded in-process pool using
+//!   the same per-series code as the single endpoints, so results are
+//!   bit-identical.
+//!
+//! See `crates/graphserve/README.md` for the wire format and
+//! `examples/serve_quickstart.rs` for an end-to-end walkthrough.
+
+#![warn(missing_docs)]
+
+pub mod http;
+pub mod json;
+pub mod queue;
+pub mod routes;
+pub mod server;
+pub mod store;
+
+pub use server::{Server, ServerConfig, ServerStats};
+pub use store::{ModelStore, StoreReader};

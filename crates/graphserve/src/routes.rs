@@ -1,0 +1,833 @@
+//! Request routing and endpoint handlers.
+//!
+//! Every data endpoint resolves its model to an `Arc<KGraphModel>` through
+//! the worker's [`StoreReader`] (lock-free in steady state) and then reads
+//! only immutable state. Single-series and batch endpoints share the same
+//! per-series core functions, so a batch response is bit-identical to the
+//! equivalent sequence of single requests.
+//!
+//! Error mapping follows the [`TsError`] contract: caller-side problems
+//! (short series, bad parameters) are 4xx, model-side degeneracy is 5xx,
+//! unparseable bodies are 400.
+
+use crate::http::{Request, Response};
+use crate::json::{f64s_to_json, write_json_string, Json};
+use crate::store::{ModelStore, StoreReader};
+use graphint::frames::graph::GraphFrame;
+use kgraph::anomaly::anomaly_scores;
+use kgraph::features::feature_row;
+use kgraph::graphoid::{gamma_graphoid, lambda_graphoid};
+use kgraph::pipeline::{KGraph, KGraphModel};
+use kgraph::KGraphConfig;
+use std::sync::Arc;
+use tscore::error::TsError;
+use tscore::{Dataset, DatasetKind, TimeSeries};
+
+/// Maximum number of series accepted in one batch request.
+const MAX_BATCH_ROWS: usize = 4096;
+
+/// Upper bound on `/debug/sleep` (milliseconds) so the route cannot be
+/// used to park workers indefinitely.
+const MAX_SLEEP_MS: u64 = 5_000;
+
+/// Maps a domain error onto an HTTP status: model-side degeneracy is the
+/// server's fault (500), everything else blames the request (422).
+fn status_for(e: &TsError) -> u16 {
+    match e {
+        TsError::Degenerate(_) => 500,
+        _ => 422,
+    }
+}
+
+fn error_response(e: &TsError) -> Response {
+    Response::error(status_for(e), &e.to_string())
+}
+
+// ---------------------------------------------------------------------------
+// Per-series cores (shared by single and batch endpoints)
+// ---------------------------------------------------------------------------
+
+fn score_series(model: &KGraphModel, values: &[f64], context: usize) -> Result<Vec<f64>, TsError> {
+    anomaly_scores(model.best(), values, context)
+}
+
+fn features_series(model: &KGraphModel, values: &[f64]) -> Result<Vec<f64>, TsError> {
+    let layer = model.best();
+    if layer.graph.node_count() == 0 {
+        return Err(TsError::Degenerate("selected layer has no nodes".into()));
+    }
+    if values.len() < layer.length {
+        return Err(TsError::TooShort {
+            required: layer.length,
+            actual: values.len(),
+        });
+    }
+    let path = layer
+        .assign_path(values)
+        .expect("preconditions checked above");
+    Ok(feature_row(
+        layer,
+        &path,
+        model.config.node_features,
+        model.config.edge_features,
+    ))
+}
+
+fn predict_series(model: &KGraphModel, values: &[f64]) -> Result<usize, TsError> {
+    model.predict(values).ok_or(TsError::TooShort {
+        required: model.best_length(),
+        actual: values.len(),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Body decoding
+// ---------------------------------------------------------------------------
+
+fn body_str(req: &Request) -> Result<&str, Response> {
+    std::str::from_utf8(&req.body).map_err(|_| Response::error(400, "body is not UTF-8"))
+}
+
+fn is_json_body(req: &Request) -> bool {
+    req.header("content-type")
+        .is_some_and(|ct| ct.contains("json"))
+        || req.body.trim_ascii_start().starts_with(b"[")
+        || req.body.trim_ascii_start().starts_with(b"{")
+}
+
+/// One series: a JSON array, a JSON object with a `series` member, or CSV
+/// (all numbers, commas and/or newlines).
+fn parse_series(req: &Request) -> Result<Vec<f64>, Response> {
+    let text = body_str(req)?;
+    let values = if is_json_body(req) {
+        let v = Json::parse(text).map_err(|e| Response::error(400, &e))?;
+        let arr = v.get("series").unwrap_or(&v);
+        arr.to_f64s().map_err(|e| Response::error(400, &e))?
+    } else {
+        parse_csv_row(text).map_err(|e| Response::error(400, &e))?
+    };
+    if values.is_empty() {
+        return Err(Response::error(400, "empty series"));
+    }
+    Ok(values)
+}
+
+/// Many series: a JSON array of arrays (optionally under `series`), or CSV
+/// with one series per line.
+fn parse_series_batch(req: &Request) -> Result<Vec<Vec<f64>>, Response> {
+    let text = body_str(req)?;
+    let rows: Vec<Vec<f64>> = if is_json_body(req) {
+        let v = Json::parse(text).map_err(|e| Response::error(400, &e))?;
+        let arr = v.get("series").unwrap_or(&v);
+        let items = arr
+            .as_arr()
+            .ok_or_else(|| Response::error(400, "expected an array of series"))?;
+        items
+            .iter()
+            .map(|row| row.to_f64s())
+            .collect::<Result<_, _>>()
+            .map_err(|e| Response::error(400, &e))?
+    } else {
+        text.lines()
+            .filter(|l| !l.trim().is_empty())
+            .map(parse_csv_row)
+            .collect::<Result<_, _>>()
+            .map_err(|e| Response::error(400, &e))?
+    };
+    if rows.is_empty() {
+        return Err(Response::error(400, "empty batch"));
+    }
+    if rows.len() > MAX_BATCH_ROWS {
+        return Err(Response::error(
+            413,
+            &format!(
+                "batch of {} rows exceeds limit {MAX_BATCH_ROWS}",
+                rows.len()
+            ),
+        ));
+    }
+    Ok(rows)
+}
+
+fn parse_csv_row(line: &str) -> Result<Vec<f64>, String> {
+    line.split([',', ' ', '\t', '\n', '\r'])
+        .filter(|t| !t.trim().is_empty())
+        .map(|t| {
+            t.trim()
+                .parse::<f64>()
+                .map_err(|_| format!("bad number {:?}", t.trim()))
+        })
+        .collect()
+}
+
+fn query_usize(req: &Request, name: &str, default: usize) -> Result<usize, Response> {
+    match req.query_param(name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| Response::error(400, &format!("bad {name} parameter {v:?}"))),
+    }
+}
+
+fn query_f64(req: &Request, name: &str, default: f64) -> Result<f64, Response> {
+    match req.query_param(name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse::<f64>()
+            .map_err(|_| Response::error(400, &format!("bad {name} parameter {v:?}"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Routing
+// ---------------------------------------------------------------------------
+
+/// Dispatches one parsed request. `reader` is the calling worker's cached
+/// registry view; `store` is only touched by admin routes (fit/delete).
+pub fn handle(req: &Request, reader: &mut StoreReader<'_>, store: &ModelStore) -> Response {
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["health"]) => health(store),
+        ("GET", ["models"]) => list_models(store),
+        ("PUT", ["models", name]) => fit_model(req, store, name),
+        ("DELETE", ["models", name]) => {
+            if store.remove(name) {
+                Response::json(200, format!("{{\"deleted\":\"{name}\"}}"))
+            } else {
+                Response::error(404, &format!("no model named {name:?}"))
+            }
+        }
+        ("POST", ["models", name, "score"]) => with_model(reader, name, |m| score_endpoint(req, m)),
+        ("POST", ["models", name, "features"]) => {
+            with_model(reader, name, |m| features_endpoint(req, m))
+        }
+        ("POST", ["models", name, "predict"]) => {
+            with_model(reader, name, |m| predict_endpoint(req, m))
+        }
+        ("POST", ["models", name, "batch"]) => with_model(reader, name, |m| batch_endpoint(req, m)),
+        ("GET", ["models", name, "graphoid"]) => {
+            with_model(reader, name, |m| graphoid_endpoint(req, m))
+        }
+        ("GET", ["models", name, "render"]) => {
+            with_model(reader, name, |m| render_endpoint(req, m))
+        }
+        ("GET", ["models", name]) => with_model(reader, name, model_info),
+        ("GET", ["debug", "sleep"]) => debug_sleep(req),
+        (method, _) if !matches!(method, "GET" | "POST" | "PUT" | "DELETE") => {
+            Response::error(405, &format!("method {method} not supported"))
+        }
+        _ => Response::error(404, &format!("no route for {} {}", req.method, req.path)),
+    }
+}
+
+fn with_model(
+    reader: &mut StoreReader<'_>,
+    name: &str,
+    f: impl FnOnce(&KGraphModel) -> Response,
+) -> Response {
+    match reader.get(name) {
+        Some(model) => f(&model),
+        None => Response::error(404, &format!("no model named {name:?}")),
+    }
+}
+
+fn health(store: &ModelStore) -> Response {
+    Response::json(
+        200,
+        format!(
+            "{{\"status\":\"ok\",\"models\":{},\"bytes\":{}}}",
+            store.len(),
+            store.total_bytes()
+        ),
+    )
+}
+
+fn list_models(store: &ModelStore) -> Response {
+    let mut body = String::from("[");
+    for (i, (name, bytes, k, best_len)) in store.list().into_iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str("{\"name\":");
+        write_json_string(&mut body, &name);
+        body.push_str(&format!(
+            ",\"bytes\":{bytes},\"k\":{k},\"best_length\":{best_len}}}"
+        ));
+    }
+    body.push(']');
+    Response::json(200, body)
+}
+
+fn model_info(model: &KGraphModel) -> Response {
+    let layer = model.best();
+    let score = &model.scores[model.best_layer];
+    let mut body = String::from("{");
+    body.push_str(&format!("\"k\":{},", model.k()));
+    body.push_str(&format!("\"n_series\":{},", model.labels.len()));
+    body.push_str(&format!("\"best_length\":{},", model.best_length()));
+    body.push_str(&format!("\"n_layers\":{},", model.layers.len()));
+    body.push_str(&format!(
+        "\"nodes\":{},\"edges\":{},",
+        layer.graph.node_count(),
+        layer.graph.edge_count()
+    ));
+    body.push_str("\"wc\":");
+    crate::json::write_json_f64(&mut body, score.wc);
+    body.push_str(",\"we\":");
+    crate::json::write_json_f64(&mut body, score.we);
+    body.push_str(",\"lengths\":");
+    let lengths: Vec<f64> = model.layers.iter().map(|l| l.length as f64).collect();
+    body.push_str(&f64s_to_json(&lengths));
+    body.push('}');
+    Response::json(200, body)
+}
+
+/// `PUT /models/{name}` — fit on demand from a posted dataset (CSV rows or
+/// JSON array-of-arrays), `?k=` clusters (default 2), `?seed=`,
+/// `?n_lengths=`.
+fn fit_model(req: &Request, store: &ModelStore, name: &str) -> Response {
+    let rows = match parse_series_batch(req) {
+        Ok(rows) => rows,
+        Err(resp) => return resp,
+    };
+    let k = match query_usize(req, "k", 2) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let seed = match query_usize(req, "seed", 0) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let n_lengths = match query_usize(req, "n_lengths", 3) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    if k < 1 || rows.len() < k {
+        return Response::error(
+            422,
+            &format!("need at least k={k} series, got {}", rows.len()),
+        );
+    }
+    let min_len = rows.iter().map(Vec::len).min().unwrap_or(0);
+    if min_len < 8 {
+        return Response::error(
+            422,
+            &format!("series too short to fit (min length {min_len}, need >= 8)"),
+        );
+    }
+    let series: Vec<TimeSeries> = rows.into_iter().map(TimeSeries::new).collect();
+    let dataset = Dataset::new(name, DatasetKind::Other, series);
+    let cfg = KGraphConfig {
+        n_lengths: n_lengths.clamp(1, 16),
+        ..KGraphConfig::new(k)
+    }
+    .with_seed(seed as u64);
+    let model = KGraph::new(cfg).fit(&dataset);
+    let bytes = store.insert(name, Arc::new(model));
+    let mut body = String::from("{\"fitted\":");
+    write_json_string(&mut body, name);
+    body.push_str(&format!(",\"bytes\":{bytes}}}"));
+    Response::json(201, body)
+}
+
+/// `POST /models/{name}/score?context=` — anomaly scores for one series.
+fn score_endpoint(req: &Request, model: &KGraphModel) -> Response {
+    let values = match parse_series(req) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let context = match query_usize(req, "context", 5) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    match score_series(model, &values, context) {
+        Ok(scores) if req.wants_csv() => {
+            let mut csv = String::from("score\n");
+            for s in &scores {
+                csv.push_str(&format!("{s}\n"));
+            }
+            Response::csv(200, csv)
+        }
+        Ok(scores) => Response::json(200, format!("{{\"scores\":{}}}", f64s_to_json(&scores))),
+        Err(e) => error_response(&e),
+    }
+}
+
+/// `POST /models/{name}/features` — crossing-feature vector of one series.
+fn features_endpoint(req: &Request, model: &KGraphModel) -> Response {
+    let values = match parse_series(req) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    match features_series(model, &values) {
+        Ok(features) if req.wants_csv() => {
+            let mut csv = String::from("feature\n");
+            for f in &features {
+                csv.push_str(&format!("{f}\n"));
+            }
+            Response::csv(200, csv)
+        }
+        Ok(features) => {
+            Response::json(200, format!("{{\"features\":{}}}", f64s_to_json(&features)))
+        }
+        Err(e) => error_response(&e),
+    }
+}
+
+/// `POST /models/{name}/predict` — cluster assignment of one series.
+fn predict_endpoint(req: &Request, model: &KGraphModel) -> Response {
+    let values = match parse_series(req) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    match predict_series(model, &values) {
+        Ok(cluster) => Response::json(200, format!("{{\"cluster\":{cluster}}}")),
+        Err(e) => error_response(&e),
+    }
+}
+
+/// `POST /models/{name}/batch?op=score|features|predict&context=` — many
+/// series in one request, fanned over a bounded worker pool. Per-row
+/// failures do not fail the batch: each result slot is either the row's
+/// payload or an `{"error": …}` object.
+fn batch_endpoint(req: &Request, model: &KGraphModel) -> Response {
+    let rows = match parse_series_batch(req) {
+        Ok(rows) => rows,
+        Err(resp) => return resp,
+    };
+    let op = req.query_param("op").unwrap_or("score");
+    let context = match query_usize(req, "context", 5) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    if !matches!(op, "score" | "features" | "predict") {
+        return Response::error(400, &format!("unknown batch op {op:?}"));
+    }
+
+    // Fan rows over a bounded pool: one worker per hardware thread at
+    // most, each writing results into its disjoint slot chunk — the same
+    // discipline as `KGraph::fit` and `feature_rows_for_paths`. Row order
+    // is preserved, so the response is bit-identical to issuing the rows
+    // as individual requests in order.
+    let run_row = |values: &[f64]| -> Result<String, TsError> {
+        match op {
+            "score" => score_series(model, values, context)
+                .map(|s| format!("{{\"scores\":{}}}", f64s_to_json(&s))),
+            "features" => features_series(model, values)
+                .map(|f| format!("{{\"features\":{}}}", f64s_to_json(&f))),
+            _ => predict_series(model, values).map(|c| format!("{{\"cluster\":{c}}}")),
+        }
+    };
+    let hw = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let workers = hw.min(rows.len());
+    let mut slots: Vec<Option<Result<String, TsError>>> = vec![None; rows.len()];
+    if workers > 1 {
+        let chunk = rows.len().div_ceil(workers);
+        crossbeam::thread::scope(|scope| {
+            for (slot_chunk, row_chunk) in slots.chunks_mut(chunk).zip(rows.chunks(chunk)) {
+                scope.spawn(move |_| {
+                    for (slot, row) in slot_chunk.iter_mut().zip(row_chunk) {
+                        *slot = Some(run_row(row));
+                    }
+                });
+            }
+        })
+        .expect("batch row job panicked");
+    } else {
+        for (slot, row) in slots.iter_mut().zip(&rows) {
+            *slot = Some(run_row(row));
+        }
+    }
+
+    let mut body = String::from("{\"results\":[");
+    for (i, slot) in slots.into_iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        match slot.expect("every slot filled") {
+            Ok(payload) => body.push_str(&payload),
+            Err(e) => {
+                body.push_str("{\"error\":");
+                write_json_string(&mut body, &e.to_string());
+                body.push_str(&format!(",\"status\":{}}}", status_for(&e)));
+            }
+        }
+    }
+    body.push_str("]}");
+    Response::json(200, body)
+}
+
+/// `GET /models/{name}/graphoid?cluster=&kind=gamma|lambda&threshold=` —
+/// the interpretable subgraph of one cluster.
+fn graphoid_endpoint(req: &Request, model: &KGraphModel) -> Response {
+    let cluster = match query_usize(req, "cluster", 0) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    if cluster >= model.k() {
+        return Response::error(
+            422,
+            &format!("cluster {cluster} out of range 0..{}", model.k()),
+        );
+    }
+    let threshold = match query_f64(req, "threshold", 0.7) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let kind = req.query_param("kind").unwrap_or("gamma");
+    let stats = model.best_stats();
+    let graphoid = match kind {
+        "gamma" => gamma_graphoid(&stats, model.best(), cluster, threshold),
+        "lambda" => lambda_graphoid(&stats, model.best(), cluster, threshold),
+        other => return Response::error(400, &format!("unknown graphoid kind {other:?}")),
+    };
+    let graph = &model.best().graph;
+    let mut body = String::from("{");
+    body.push_str(&format!(
+        "\"cluster\":{cluster},\"kind\":\"{kind}\",\"threshold\":"
+    ));
+    crate::json::write_json_f64(&mut body, threshold);
+    body.push_str(",\"nodes\":[");
+    for (i, n) in graphoid.nodes.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&format!("{}", n.index()));
+    }
+    body.push_str("],\"edges\":[");
+    for (i, e) in graphoid.edges.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        let (s, t) = graph.endpoints(*e);
+        body.push_str(&format!(
+            "{{\"src\":{},\"dst\":{},\"weight\":",
+            s.index(),
+            t.index()
+        ));
+        crate::json::write_json_f64(&mut body, *graph.edge(*e));
+        body.push('}');
+    }
+    body.push_str("]}");
+    Response::json(200, body)
+}
+
+/// `GET /models/{name}/render?format=svg|ascii` — the Graph frame,
+/// rendered headlessly from the shared model.
+fn render_endpoint(req: &Request, model: &KGraphModel) -> Response {
+    match req.query_param("format").unwrap_or("svg") {
+        "svg" => Response::svg(GraphFrame::with_auto_thresholds(model).render_graph()),
+        "ascii" => {
+            let layer = model.best();
+            let mut text = format!(
+                "k-Graph model: k={} ℓ̄={} nodes={} edges={}\n",
+                model.k(),
+                model.best_length(),
+                layer.graph.node_count(),
+                layer.graph.edge_count()
+            );
+            text.push_str(&graphint::ascii::partition_summary(&model.labels));
+            text.push('\n');
+            // The most central patterns, as sparklines.
+            let frame = GraphFrame::with_auto_thresholds(model);
+            for &n in frame.exploration_order().iter().take(5) {
+                let pattern = &layer.graph.node(tsgraph::NodeId(n as u32)).pattern;
+                text.push_str(&format!(
+                    "node {n:>3} {}\n",
+                    graphint::ascii::sparkline(pattern)
+                ));
+            }
+            Response::text(200, text)
+        }
+        other => Response::error(400, &format!("unknown render format {other:?}")),
+    }
+}
+
+/// `GET /debug/sleep?ms=` — parks the worker briefly; exists so operators
+/// (and the integration tests) can exercise admission control on demand.
+fn debug_sleep(req: &Request) -> Response {
+    let ms = match query_usize(req, "ms", 50) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let ms = (ms as u64).min(MAX_SLEEP_MS);
+    std::thread::sleep(std::time::Duration::from_millis(ms));
+    Response::json(200, format!("{{\"slept_ms\":{ms}}}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request(method: &str, target: &str, body: &[u8]) -> Request {
+        let raw = format!(
+            "{method} {target} HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+            body.len()
+        );
+        let mut bytes = raw.into_bytes();
+        bytes.extend_from_slice(body);
+        Request::read_from(&mut std::io::Cursor::new(bytes), 1 << 20).unwrap()
+    }
+
+    fn demo_store() -> ModelStore {
+        let store = ModelStore::new(0);
+        let series: Vec<TimeSeries> = (0..8)
+            .map(|p| TimeSeries::new((0..80).map(|i| ((i + p) as f64 * 0.3).sin()).collect()))
+            .collect();
+        let ds = Dataset::new("demo", DatasetKind::Simulated, series);
+        let cfg = KGraphConfig {
+            n_lengths: 1,
+            psi: 10,
+            pca_sample: 300,
+            n_init: 2,
+            ..KGraphConfig::new(2)
+        }
+        .with_lengths(vec![16]);
+        store.insert("demo", Arc::new(KGraph::new(cfg).fit(&ds)));
+        store
+    }
+
+    fn body_text(resp: &Response) -> &str {
+        std::str::from_utf8(&resp.body).unwrap()
+    }
+
+    #[test]
+    fn health_and_listing() {
+        let store = demo_store();
+        let mut reader = store.reader();
+        let resp = handle(&request("GET", "/health", b""), &mut reader, &store);
+        assert_eq!(resp.status, 200);
+        assert!(body_text(&resp).contains("\"models\":1"));
+        let resp = handle(&request("GET", "/models", b""), &mut reader, &store);
+        assert!(body_text(&resp).contains("\"name\":\"demo\""));
+        let resp = handle(&request("GET", "/models/demo", b""), &mut reader, &store);
+        assert!(body_text(&resp).contains("\"best_length\":16"));
+    }
+
+    #[test]
+    fn score_json_and_csv() {
+        let store = demo_store();
+        let mut reader = store.reader();
+        let series: Vec<f64> = (0..80).map(|i| (i as f64 * 0.3).sin()).collect();
+        let body = crate::json::f64s_to_json(&series);
+        let resp = handle(
+            &request("POST", "/models/demo/score?context=3", body.as_bytes()),
+            &mut reader,
+            &store,
+        );
+        assert_eq!(resp.status, 200, "{}", body_text(&resp));
+        assert!(body_text(&resp).starts_with("{\"scores\":["));
+
+        // CSV body, CSV accept.
+        let csv_body: String = series
+            .iter()
+            .map(f64::to_string)
+            .collect::<Vec<_>>()
+            .join(",");
+        let raw = format!(
+            "POST /models/demo/score HTTP/1.1\r\naccept: text/csv\r\ncontent-length: {}\r\n\r\n{csv_body}",
+            csv_body.len()
+        );
+        let req = Request::read_from(&mut std::io::Cursor::new(raw.into_bytes()), 1 << 20).unwrap();
+        let resp = handle(&req, &mut reader, &store);
+        assert_eq!(resp.status, 200);
+        assert!(body_text(&resp).starts_with("score\n"));
+    }
+
+    #[test]
+    fn short_series_is_422_unknown_model_404() {
+        let store = demo_store();
+        let mut reader = store.reader();
+        let resp = handle(
+            &request("POST", "/models/demo/score", b"[1,2,3]"),
+            &mut reader,
+            &store,
+        );
+        assert_eq!(resp.status, 422);
+        assert!(body_text(&resp).contains("too short"));
+        let resp = handle(
+            &request("POST", "/models/nope/score", b"[1,2,3]"),
+            &mut reader,
+            &store,
+        );
+        assert_eq!(resp.status, 404);
+    }
+
+    #[test]
+    fn bad_bodies_are_400() {
+        let store = demo_store();
+        let mut reader = store.reader();
+        for body in [&b"{\"series\": \"x\"}"[..], b"not,numbers,at,all", b"[1,2,"] {
+            let resp = handle(
+                &request("POST", "/models/demo/score", body),
+                &mut reader,
+                &store,
+            );
+            assert_eq!(resp.status, 400, "body {body:?}: {}", body_text(&resp));
+        }
+    }
+
+    #[test]
+    fn batch_matches_single_requests_bit_for_bit() {
+        let store = demo_store();
+        let mut reader = store.reader();
+        let rows: Vec<Vec<f64>> = (0..5)
+            .map(|p| (0..80).map(|i| ((i + p) as f64 * 0.3).sin()).collect())
+            .collect();
+        for op in ["score", "features", "predict"] {
+            let mut batch_body = String::from("[");
+            for (i, row) in rows.iter().enumerate() {
+                if i > 0 {
+                    batch_body.push(',');
+                }
+                batch_body.push_str(&crate::json::f64s_to_json(row));
+            }
+            batch_body.push(']');
+            let resp = handle(
+                &request(
+                    "POST",
+                    &format!("/models/demo/batch?op={op}&context=3"),
+                    batch_body.as_bytes(),
+                ),
+                &mut reader,
+                &store,
+            );
+            assert_eq!(resp.status, 200, "{}", body_text(&resp));
+            let batch = Json::parse(body_text(&resp)).unwrap();
+            let results = batch.get("results").unwrap().as_arr().unwrap();
+            assert_eq!(results.len(), rows.len());
+            for (row, result) in rows.iter().zip(results) {
+                let single = handle(
+                    &request(
+                        "POST",
+                        &format!("/models/demo/{op}?context=3"),
+                        crate::json::f64s_to_json(row).as_bytes(),
+                    ),
+                    &mut reader,
+                    &store,
+                );
+                let single = Json::parse(body_text(&single)).unwrap();
+                assert_eq!(*result, single, "batch row differs from single {op}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_isolates_per_row_errors() {
+        let store = demo_store();
+        let mut reader = store.reader();
+        // Second row is too short; first and third must still succeed.
+        let good: Vec<f64> = (0..80).map(|i| (i as f64 * 0.3).sin()).collect();
+        let body = format!(
+            "[{},[1,2,3],{}]",
+            crate::json::f64s_to_json(&good),
+            crate::json::f64s_to_json(&good)
+        );
+        let resp = handle(
+            &request("POST", "/models/demo/batch?op=predict", body.as_bytes()),
+            &mut reader,
+            &store,
+        );
+        assert_eq!(resp.status, 200);
+        let parsed = Json::parse(body_text(&resp)).unwrap();
+        let results = parsed.get("results").unwrap().as_arr().unwrap();
+        assert!(results[0].get("cluster").is_some());
+        assert!(results[1].get("error").is_some());
+        assert_eq!(results[1].get("status").unwrap().as_f64(), Some(422.0));
+        assert!(results[2].get("cluster").is_some());
+    }
+
+    #[test]
+    fn graphoid_and_render() {
+        let store = demo_store();
+        let mut reader = store.reader();
+        let resp = handle(
+            &request(
+                "GET",
+                "/models/demo/graphoid?cluster=0&kind=gamma&threshold=0.1",
+                b"",
+            ),
+            &mut reader,
+            &store,
+        );
+        assert_eq!(resp.status, 200);
+        assert!(body_text(&resp).contains("\"nodes\":["));
+        let resp = handle(
+            &request("GET", "/models/demo/graphoid?cluster=9", b""),
+            &mut reader,
+            &store,
+        );
+        assert_eq!(resp.status, 422);
+
+        let resp = handle(
+            &request("GET", "/models/demo/render?format=svg", b""),
+            &mut reader,
+            &store,
+        );
+        assert_eq!(resp.status, 200);
+        assert!(body_text(&resp).contains("<svg"));
+        let resp = handle(
+            &request("GET", "/models/demo/render?format=ascii", b""),
+            &mut reader,
+            &store,
+        );
+        assert_eq!(resp.status, 200);
+        assert!(body_text(&resp).contains("k-Graph model"));
+    }
+
+    #[test]
+    fn fit_on_demand_then_serve() {
+        let store = demo_store();
+        let mut reader = store.reader();
+        let rows: Vec<String> = (0..6)
+            .map(|p| {
+                (0..40)
+                    .map(|i| ((i + p) as f64 * 0.4).sin().to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            })
+            .collect();
+        let body = rows.join("\n");
+        let resp = handle(
+            &request("PUT", "/models/fresh?k=2&seed=7", body.as_bytes()),
+            &mut reader,
+            &store,
+        );
+        assert_eq!(resp.status, 201, "{}", body_text(&resp));
+        let series: Vec<f64> = (0..40).map(|i| (i as f64 * 0.4).sin()).collect();
+        let resp = handle(
+            &request(
+                "POST",
+                "/models/fresh/predict",
+                crate::json::f64s_to_json(&series).as_bytes(),
+            ),
+            &mut reader,
+            &store,
+        );
+        assert_eq!(resp.status, 200, "{}", body_text(&resp));
+        // And delete it again.
+        let resp = handle(
+            &request("DELETE", "/models/fresh", b""),
+            &mut reader,
+            &store,
+        );
+        assert_eq!(resp.status, 200);
+        // Fit rejects short series.
+        let resp = handle(
+            &request("PUT", "/models/tiny", b"1,2\n3,4"),
+            &mut reader,
+            &store,
+        );
+        assert_eq!(resp.status, 422);
+    }
+
+    #[test]
+    fn unknown_routes_and_methods() {
+        let store = demo_store();
+        let mut reader = store.reader();
+        let resp = handle(&request("GET", "/nope", b""), &mut reader, &store);
+        assert_eq!(resp.status, 404);
+        let resp = handle(&request("PATCH", "/models/demo", b""), &mut reader, &store);
+        assert_eq!(resp.status, 405);
+    }
+}

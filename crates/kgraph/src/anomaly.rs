@@ -11,6 +11,7 @@
 //! 1 = transitions never seen at fit time.
 
 use crate::build::GraphLayer;
+use tscore::error::TsError;
 use tsgraph::NodeId;
 
 /// Rarity of each transition along a node path.
@@ -96,14 +97,37 @@ pub fn embedding_gap_scores(layer: &GraphLayer, values: &[f64]) -> Option<Vec<f6
 ///   "frozen"/dwelling anomalies that produce no transitions at all.
 ///
 /// The blend (equal weights) is smoothed with a centred moving average of
-/// width `context` (≥ 1). Returns `None` when the series is shorter than
-/// one window.
-pub fn anomaly_scores(layer: &GraphLayer, values: &[f64], context: usize) -> Option<Vec<f64>> {
-    let path = layer.assign_path(values)?;
+/// width `context` (≥ 1).
+///
+/// # Errors
+///
+/// * [`TsError::TooShort`] — the series is shorter than one window of the
+///   layer (a caller-side problem: 4xx territory for a server),
+/// * [`TsError::Degenerate`] — the layer's graph has no nodes, so no
+///   series can be routed through it (a model-side problem: 5xx).
+pub fn anomaly_scores(
+    layer: &GraphLayer,
+    values: &[f64],
+    context: usize,
+) -> Result<Vec<f64>, TsError> {
+    if layer.graph.node_count() == 0 {
+        return Err(TsError::Degenerate(
+            "graph layer has no nodes; cannot route series".into(),
+        ));
+    }
+    if values.len() < layer.length {
+        return Err(TsError::TooShort {
+            required: layer.length,
+            actual: values.len(),
+        });
+    }
+    let path = layer
+        .assign_path(values)
+        .expect("preconditions checked above");
     let trans = transition_scores(layer, &path);
-    let gaps = embedding_gap_scores(layer, values)?;
+    let gaps = embedding_gap_scores(layer, values).expect("preconditions checked above");
     if gaps.is_empty() {
-        return Some(Vec::new());
+        return Ok(Vec::new());
     }
     // Align: transition i sits between windows i and i+1; attribute it to
     // window i (the last window keeps only its gap evidence).
@@ -122,7 +146,7 @@ pub fn anomaly_scores(layer: &GraphLayer, values: &[f64], context: usize) -> Opt
             raw[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
         })
         .collect();
-    Some(smoothed)
+    Ok(smoothed)
 }
 
 /// Indices of the `k` highest-scoring positions, greedily selected with an
@@ -228,9 +252,15 @@ mod tests {
     }
 
     #[test]
-    fn short_series_is_none() {
+    fn short_series_is_too_short_error() {
         let model = fitted();
-        assert!(anomaly_scores(model.best(), &[1.0, 2.0], 3).is_none());
+        match anomaly_scores(model.best(), &[1.0, 2.0], 3) {
+            Err(TsError::TooShort { required, actual }) => {
+                assert_eq!(required, model.best().length);
+                assert_eq!(actual, 2);
+            }
+            other => panic!("expected TooShort, got {other:?}"),
+        }
     }
 
     #[test]

@@ -7,18 +7,27 @@
 
 use crate::build::GraphLayer;
 use clustering::kmeans::KMeans;
+use tsgraph::NodeId;
 
-/// Builds the feature matrix of a layer.
-///
-/// Row `i` describes series `i`:
+/// Rows below this count are featurised serially — spawning threads costs
+/// more than the crossing counts for small datasets (and `KGraph::fit`
+/// already runs one job per length, so small layers arrive here from
+/// within a worker).
+const PARALLEL_ROW_THRESHOLD: usize = 64;
+
+/// Feature vector of one node path through `layer`'s graph:
 /// `[count(node 0), …, count(node N−1), count(edge 0), …, count(edge E−1)]`
 /// (either block can be disabled for ablations). Counts are raw crossing
-/// frequencies, matching the paper's construction.
-pub fn feature_matrix(
+/// frequencies, matching the paper's construction. This is the single-row
+/// building block shared by [`feature_matrix`] and the serving layer's
+/// per-request/batch feature endpoints — one definition keeps their
+/// results bit-identical.
+pub fn feature_row(
     layer: &GraphLayer,
+    path: &[NodeId],
     node_features: bool,
     edge_features: bool,
-) -> Vec<Vec<f64>> {
+) -> Vec<f64> {
     assert!(
         node_features || edge_features,
         "at least one feature family must be enabled"
@@ -26,29 +35,75 @@ pub fn feature_matrix(
     let n_nodes = layer.graph.node_count();
     let n_edges = layer.graph.edge_count();
     let dim = if node_features { n_nodes } else { 0 } + if edge_features { n_edges } else { 0 };
-    let mut rows = Vec::with_capacity(layer.paths.len());
-    for path in &layer.paths {
-        let mut row = vec![0.0f64; dim];
-        if node_features {
-            for node in path {
-                row[node.index()] += 1.0;
-            }
+    let mut row = vec![0.0f64; dim];
+    if node_features {
+        for node in path {
+            row[node.index()] += 1.0;
         }
-        if edge_features {
-            let offset = if node_features { n_nodes } else { 0 };
-            for w in path.windows(2) {
-                if w[0] == w[1] {
-                    continue;
-                }
-                // O(log deg) binary search over the sorted CSR out-slice.
-                if let Some(e) = layer.graph.edge_id(w[0], w[1]) {
-                    row[offset + e.index()] += 1.0;
-                }
-            }
-        }
-        rows.push(row);
     }
-    rows
+    if edge_features {
+        let offset = if node_features { n_nodes } else { 0 };
+        for w in path.windows(2) {
+            if w[0] == w[1] {
+                continue;
+            }
+            // O(log deg) binary search over the sorted CSR out-slice.
+            if let Some(e) = layer.graph.edge_id(w[0], w[1]) {
+                row[offset + e.index()] += 1.0;
+            }
+        }
+    }
+    row
+}
+
+/// Featurises an arbitrary set of node paths against `layer`'s graph.
+///
+/// Rows are per-path independent, so large inputs fan out over a bounded
+/// worker pool (at most one worker per hardware thread) with each worker
+/// writing lock-free into its disjoint chunk of output slots — the same
+/// scheme as `KGraph::fit`'s per-length jobs. Output order and values are
+/// identical to the serial loop.
+pub fn feature_rows_for_paths(
+    layer: &GraphLayer,
+    paths: &[Vec<NodeId>],
+    node_features: bool,
+    edge_features: bool,
+) -> Vec<Vec<f64>> {
+    assert!(
+        node_features || edge_features,
+        "at least one feature family must be enabled"
+    );
+    let hw = std::thread::available_parallelism().map_or(1, |p| p.get());
+    if paths.len() < PARALLEL_ROW_THRESHOLD || hw < 2 {
+        return paths
+            .iter()
+            .map(|p| feature_row(layer, p, node_features, edge_features))
+            .collect();
+    }
+    let workers = hw.min(paths.len());
+    let chunk = paths.len().div_ceil(workers);
+    let mut slots: Vec<Vec<f64>> = vec![Vec::new(); paths.len()];
+    crossbeam::thread::scope(|scope| {
+        for (slot_chunk, path_chunk) in slots.chunks_mut(chunk).zip(paths.chunks(chunk)) {
+            scope.spawn(move |_| {
+                for (slot, path) in slot_chunk.iter_mut().zip(path_chunk) {
+                    *slot = feature_row(layer, path, node_features, edge_features);
+                }
+            });
+        }
+    })
+    .expect("feature row job panicked");
+    slots
+}
+
+/// Builds the feature matrix of a layer: row `i` is
+/// [`feature_row`] of series `i`'s fit-time path.
+pub fn feature_matrix(
+    layer: &GraphLayer,
+    node_features: bool,
+    edge_features: bool,
+) -> Vec<Vec<f64>> {
+    feature_rows_for_paths(layer, &layer.paths, node_features, edge_features)
 }
 
 /// Clusters a layer's feature matrix with k-Means, returning `L_ℓ`.
@@ -151,5 +206,22 @@ mod tests {
     fn no_features_panics() {
         let (_, layer, _) = toy();
         feature_matrix(&layer, false, false);
+    }
+
+    #[test]
+    fn parallel_rows_match_serial() {
+        let (_, layer, _) = toy();
+        // Replicate the fit-time paths past the parallel threshold and
+        // check the fan-out produces exactly the serial rows, in order.
+        let mut many = Vec::new();
+        while many.len() < super::PARALLEL_ROW_THRESHOLD + 7 {
+            many.extend(layer.paths.iter().cloned());
+        }
+        let fanned = feature_rows_for_paths(&layer, &many, true, true);
+        let serial: Vec<Vec<f64>> = many
+            .iter()
+            .map(|p| feature_row(&layer, p, true, true))
+            .collect();
+        assert_eq!(fanned, serial);
     }
 }

@@ -42,31 +42,33 @@ impl ClusterStats {
         let mut node_crossings = vec![vec![0usize; n_nodes]; k];
         let mut edge_crossings = vec![vec![0usize; n_edges]; k];
         let mut cluster_sizes = vec![0usize; k];
-        for (path, &label) in layer.paths.iter().zip(labels) {
+        // A series "crosses" a node/edge once regardless of repetition.
+        // Dedup via generation-stamped scratch allocated once: a slot is
+        // "seen in this series" iff its stamp equals the current
+        // generation, so no per-series allocation or O(n+e) clearing.
+        let mut node_gen = vec![0u32; n_nodes];
+        let mut edge_gen = vec![0u32; n_edges];
+        for (gen, (path, &label)) in layer.paths.iter().zip(labels).enumerate() {
             assert!(label < k, "label {label} out of range 0..{k}");
             cluster_sizes[label] += 1;
-            // A series "crosses" a node/edge once regardless of repetition.
-            let mut seen_nodes = vec![false; n_nodes];
+            let gen = gen as u32 + 1;
             for node in path {
-                seen_nodes[node.index()] = true;
-            }
-            for (n, &seen) in seen_nodes.iter().enumerate() {
-                if seen {
-                    node_crossings[label][n] += 1;
+                let slot = &mut node_gen[node.index()];
+                if *slot != gen {
+                    *slot = gen;
+                    node_crossings[label][node.index()] += 1;
                 }
             }
-            let mut seen_edges = vec![false; n_edges];
             for w in path.windows(2) {
                 if w[0] == w[1] {
                     continue;
                 }
                 if let Some(e) = layer.graph.edge_id(w[0], w[1]) {
-                    seen_edges[e.index()] = true;
-                }
-            }
-            for (e, &seen) in seen_edges.iter().enumerate() {
-                if seen {
-                    edge_crossings[label][e] += 1;
+                    let slot = &mut edge_gen[e.index()];
+                    if *slot != gen {
+                        *slot = gen;
+                        edge_crossings[label][e.index()] += 1;
+                    }
                 }
             }
         }

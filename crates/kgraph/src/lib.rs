@@ -43,6 +43,7 @@ pub mod graphoid;
 pub mod interpret;
 pub mod nodes;
 pub mod pipeline;
+pub mod serial;
 
 pub use build::{GraphLayer, LayerEmbedding, NodePattern, PatternGraph};
 pub use config::KGraphConfig;

@@ -1,0 +1,545 @@
+//! Compact binary save/load for fitted [`KGraphModel`]s.
+//!
+//! Serving a model must not require refitting it: `fit` costs seconds to
+//! minutes, while a server restart should reload its registry in
+//! milliseconds. This module writes everything a fitted model holds — the
+//! per-length graph layers (node patterns + CSR edge triples), the stored
+//! embeddings (PCA, radial nodes), paths, partitions, consensus matrix and
+//! scores — into a little-endian, length-prefixed binary format (`KGM1`).
+//!
+//! Graphs are stored as node payloads plus `(src, dst, weight)` edge
+//! triples and rebuilt through [`tsgraph::GraphBuilder`] at load time; the
+//! builder sorts and deduplicates, so the reloaded CSR is bit-identical to
+//! the fitted one and every downstream consumer (scores, features,
+//! graphoids, rendering) produces identical results.
+//!
+//! The format is deliberately dependency-free (no serde in the image) and
+//! versioned by magic: readers reject unknown magics with
+//! [`TsError::Parse`] instead of misinterpreting bytes.
+
+use crate::build::{GraphLayer, LayerEmbedding, NodePattern};
+use crate::config::KGraphConfig;
+use crate::interpret::LengthScore;
+use crate::nodes::RadialNode;
+use crate::pipeline::KGraphModel;
+use linalg::matrix::Matrix;
+use linalg::pca::Pca;
+use std::path::Path;
+use tscore::error::TsError;
+use tsgraph::{GraphBuilder, NodeId};
+
+/// File magic of the current format version.
+const MAGIC: &[u8; 4] = b"KGM1";
+
+// ---------------------------------------------------------------------------
+// Primitive writer / reader
+// ---------------------------------------------------------------------------
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64s(out: &mut Vec<u8>, vs: &[f64]) {
+    put_u64(out, vs.len() as u64);
+    for &v in vs {
+        put_f64(out, v);
+    }
+}
+
+fn put_u64s(out: &mut Vec<u8>, vs: impl ExactSizeIterator<Item = u64>) {
+    put_u64(out, vs.len() as u64);
+    for v in vs {
+        put_u64(out, v);
+    }
+}
+
+/// Bounds-checked little-endian reader over a byte slice.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Cursor { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], TsError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| TsError::Parse(format!("model file truncated at byte {}", self.pos)))?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, TsError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u64(&mut self) -> Result<u64, TsError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn usize(&mut self) -> Result<usize, TsError> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| TsError::Parse(format!("length {v} overflows usize")))
+    }
+
+    /// A length prefix about to drive an allocation; bounded by the bytes
+    /// actually remaining so corrupt prefixes cannot OOM the reader.
+    fn len(&mut self, elem_bytes: usize) -> Result<usize, TsError> {
+        let n = self.usize()?;
+        let remaining = self.bytes.len() - self.pos;
+        if n.saturating_mul(elem_bytes.max(1)) > remaining {
+            return Err(TsError::Parse(format!(
+                "declared length {n} exceeds remaining {remaining} bytes"
+            )));
+        }
+        Ok(n)
+    }
+
+    fn f64(&mut self) -> Result<f64, TsError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64s(&mut self) -> Result<Vec<f64>, TsError> {
+        let n = self.len(8)?;
+        (0..n).map(|_| self.f64()).collect()
+    }
+
+    fn u64s(&mut self) -> Result<Vec<u64>, TsError> {
+        let n = self.len(8)?;
+        (0..n).map(|_| self.u64()).collect()
+    }
+
+    fn usizes(&mut self) -> Result<Vec<usize>, TsError> {
+        self.u64s()?
+            .into_iter()
+            .map(|v| {
+                usize::try_from(v).map_err(|_| TsError::Parse(format!("value {v} overflows usize")))
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Model encoding
+// ---------------------------------------------------------------------------
+
+fn put_config(out: &mut Vec<u8>, cfg: &KGraphConfig) {
+    put_u64(out, cfg.k as u64);
+    put_u64s(out, cfg.lengths.iter().map(|&l| l as u64));
+    put_u64(out, cfg.n_lengths as u64);
+    put_f64(out, cfg.length_fraction_range.0);
+    put_f64(out, cfg.length_fraction_range.1);
+    put_u64(out, cfg.psi as u64);
+    put_u64(out, cfg.kde_grid as u64);
+    put_f64(out, cfg.min_density_ratio);
+    put_u64(out, cfg.stride as u64);
+    put_u64(out, cfg.pca_sample as u64);
+    put_u64(out, cfg.n_init as u64);
+    out.push(cfg.edge_features as u8);
+    out.push(cfg.node_features as u8);
+    out.push(cfg.parallel as u8);
+    put_u64(out, cfg.seed);
+}
+
+fn read_config(c: &mut Cursor) -> Result<KGraphConfig, TsError> {
+    Ok(KGraphConfig {
+        k: c.usize()?,
+        lengths: c.usizes()?,
+        n_lengths: c.usize()?,
+        length_fraction_range: (c.f64()?, c.f64()?),
+        psi: c.usize()?,
+        kde_grid: c.usize()?,
+        min_density_ratio: c.f64()?,
+        stride: c.usize()?,
+        pca_sample: c.usize()?,
+        n_init: c.usize()?,
+        edge_features: c.u8()? != 0,
+        node_features: c.u8()? != 0,
+        parallel: c.u8()? != 0,
+        seed: c.u64()?,
+    })
+}
+
+fn put_matrix(out: &mut Vec<u8>, m: &Matrix) {
+    put_u64(out, m.rows() as u64);
+    put_u64(out, m.cols() as u64);
+    for &v in m.as_slice() {
+        put_f64(out, v);
+    }
+}
+
+fn read_matrix(c: &mut Cursor) -> Result<Matrix, TsError> {
+    let rows = c.usize()?;
+    let cols = c.usize()?;
+    let n = rows
+        .checked_mul(cols)
+        .ok_or_else(|| TsError::Parse("matrix shape overflow".into()))?;
+    if n.saturating_mul(8) > c.bytes.len() - c.pos {
+        return Err(TsError::Parse(format!(
+            "matrix {rows}x{cols} exceeds remaining bytes"
+        )));
+    }
+    let data = (0..n).map(|_| c.f64()).collect::<Result<Vec<_>, _>>()?;
+    Ok(Matrix::from_vec(rows, cols, data))
+}
+
+fn put_embedding(out: &mut Vec<u8>, emb: &LayerEmbedding) {
+    put_f64s(out, emb.pca.mean());
+    put_matrix(out, emb.pca.components());
+    put_f64s(out, emb.pca.explained_variance());
+    put_f64(out, emb.pca.total_variance());
+    put_u64(out, emb.nodes.len() as u64);
+    for n in &emb.nodes {
+        put_u64(out, n.sector as u64);
+        put_f64(out, n.radius);
+    }
+    put_f64(out, emb.center.0);
+    put_f64(out, emb.center.1);
+    put_u64(out, emb.psi as u64);
+    put_u64(out, emb.stride as u64);
+}
+
+fn read_embedding(c: &mut Cursor) -> Result<LayerEmbedding, TsError> {
+    let mean = c.f64s()?;
+    let components = read_matrix(c)?;
+    let explained = c.f64s()?;
+    let total = c.f64()?;
+    if components.cols() != mean.len() || components.rows() != explained.len() {
+        return Err(TsError::Parse("inconsistent PCA shapes".into()));
+    }
+    let pca = Pca::from_parts(mean, components, explained, total);
+    let n_nodes = c.len(16)?;
+    let nodes = (0..n_nodes)
+        .map(|_| {
+            Ok(RadialNode {
+                sector: c.usize()?,
+                radius: c.f64()?,
+            })
+        })
+        .collect::<Result<Vec<_>, TsError>>()?;
+    Ok(LayerEmbedding {
+        pca,
+        nodes,
+        center: (c.f64()?, c.f64()?),
+        psi: c.usize()?,
+        stride: c.usize()?,
+    })
+}
+
+fn put_layer(out: &mut Vec<u8>, layer: &GraphLayer) {
+    put_u64(out, layer.length as u64);
+    // Node payloads in id order.
+    put_u64(out, layer.graph.node_count() as u64);
+    for (_, p) in layer.graph.nodes_iter() {
+        put_u64(out, p.sector as u64);
+        put_f64(out, p.radius);
+        put_u64(out, p.count as u64);
+        put_f64s(out, &p.pattern);
+    }
+    // Edge triples in edge-id order (already (src, dst)-sorted).
+    put_u64(out, layer.graph.edge_count() as u64);
+    for (_, s, t, &w) in layer.graph.edges_iter() {
+        put_u64(out, s.0 as u64);
+        put_u64(out, t.0 as u64);
+        put_f64(out, w);
+    }
+    put_u64(out, layer.paths.len() as u64);
+    for path in &layer.paths {
+        put_u64s(out, path.iter().map(|n| n.0 as u64));
+    }
+    put_u64s(out, layer.labels.iter().map(|&l| l as u64));
+    put_embedding(out, &layer.embedding);
+}
+
+fn read_layer(c: &mut Cursor) -> Result<GraphLayer, TsError> {
+    let length = c.usize()?;
+    let n_nodes = c.len(8)?;
+    let payloads = (0..n_nodes)
+        .map(|_| {
+            Ok(NodePattern {
+                sector: c.usize()?,
+                radius: c.f64()?,
+                count: c.usize()?,
+                pattern: c.f64s()?,
+            })
+        })
+        .collect::<Result<Vec<_>, TsError>>()?;
+    let n_edges = c.len(24)?;
+    let mut builder = GraphBuilder::with_capacity(n_edges);
+    for _ in 0..n_edges {
+        let s = c.u64()?;
+        let t = c.u64()?;
+        let w = c.f64()?;
+        if s >= n_nodes as u64 || t >= n_nodes as u64 {
+            return Err(TsError::Parse(format!(
+                "edge ({s}, {t}) references missing node (graph has {n_nodes})"
+            )));
+        }
+        builder.add_edge(NodeId(s as u32), NodeId(t as u32), w);
+    }
+    // Stored edges are unique per (src, dst): the merge closure never
+    // fires, and the builder's sort reproduces the fitted CSR exactly.
+    let graph = builder.build(payloads, |acc, w| *acc += w);
+    let n_paths = c.len(8)?;
+    let paths = (0..n_paths)
+        .map(|_| {
+            let raw = c.u64s()?;
+            raw.into_iter()
+                .map(|v| {
+                    if v >= n_nodes as u64 {
+                        Err(TsError::Parse(format!("path node {v} out of range")))
+                    } else {
+                        Ok(NodeId(v as u32))
+                    }
+                })
+                .collect::<Result<Vec<_>, TsError>>()
+        })
+        .collect::<Result<Vec<_>, TsError>>()?;
+    let labels = c.usizes()?;
+    let embedding = read_embedding(c)?;
+    Ok(GraphLayer {
+        length,
+        graph,
+        paths,
+        labels,
+        embedding,
+    })
+}
+
+/// Encodes a fitted model into the `KGM1` byte format.
+pub fn write_model(model: &KGraphModel) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4096);
+    out.extend_from_slice(MAGIC);
+    put_config(&mut out, &model.config);
+    put_u64s(&mut out, model.labels.iter().map(|&l| l as u64));
+    put_matrix(&mut out, &model.consensus);
+    put_u64(&mut out, model.scores.len() as u64);
+    for s in &model.scores {
+        put_u64(&mut out, s.length as u64);
+        put_f64(&mut out, s.wc);
+        put_f64(&mut out, s.we);
+    }
+    put_u64(&mut out, model.best_layer as u64);
+    put_u64(&mut out, model.layers.len() as u64);
+    for layer in &model.layers {
+        put_layer(&mut out, layer);
+    }
+    out
+}
+
+/// Decodes a model from `KGM1` bytes.
+///
+/// # Errors
+///
+/// [`TsError::Parse`] on a wrong magic, truncation, or any internal
+/// inconsistency (edge/path references outside the node range, PCA shape
+/// mismatches, out-of-range layer index).
+pub fn read_model(bytes: &[u8]) -> Result<KGraphModel, TsError> {
+    let mut c = Cursor::new(bytes);
+    let magic = c.take(4)?;
+    if magic != MAGIC {
+        return Err(TsError::Parse(format!(
+            "not a KGM1 model file (magic {magic:?})"
+        )));
+    }
+    let config = read_config(&mut c)?;
+    let labels = c.usizes()?;
+    let consensus = read_matrix(&mut c)?;
+    let n_scores = c.len(24)?;
+    let scores = (0..n_scores)
+        .map(|_| {
+            Ok(LengthScore {
+                length: c.usize()?,
+                wc: c.f64()?,
+                we: c.f64()?,
+            })
+        })
+        .collect::<Result<Vec<_>, TsError>>()?;
+    let best_layer = c.usize()?;
+    let n_layers = c.len(8)?;
+    let layers = (0..n_layers)
+        .map(|_| read_layer(&mut c))
+        .collect::<Result<Vec<_>, TsError>>()?;
+    if best_layer >= layers.len() {
+        return Err(TsError::Parse(format!(
+            "best layer {best_layer} out of range ({} layers)",
+            layers.len()
+        )));
+    }
+    if c.pos != bytes.len() {
+        return Err(TsError::Parse(format!(
+            "{} trailing bytes after model",
+            bytes.len() - c.pos
+        )));
+    }
+    Ok(KGraphModel {
+        config,
+        layers,
+        consensus,
+        labels,
+        scores,
+        best_layer,
+    })
+}
+
+/// Saves a model to `path` (atomically: write to `path.tmp`, then rename).
+pub fn save_model(model: &KGraphModel, path: &Path) -> Result<(), TsError> {
+    let bytes = write_model(model);
+    let tmp = path.with_extension("kgm.tmp");
+    std::fs::write(&tmp, &bytes)
+        .and_then(|_| std::fs::rename(&tmp, path))
+        .map_err(|e| TsError::Parse(format!("writing {}: {e}", path.display())))
+}
+
+/// Loads a model from `path`.
+pub fn load_model(path: &Path) -> Result<KGraphModel, TsError> {
+    let bytes = std::fs::read(path)
+        .map_err(|e| TsError::Parse(format!("reading {}: {e}", path.display())))?;
+    read_model(&bytes)
+}
+
+/// Approximate heap footprint of a fitted model in bytes — the currency of
+/// the serving layer's eviction budget. Counts the dominant flat arrays
+/// (CSR adjacency, patterns, paths, consensus); small fixed overheads are
+/// ignored.
+pub fn model_approx_bytes(model: &KGraphModel) -> usize {
+    let mut bytes = std::mem::size_of::<KGraphModel>();
+    bytes += model.consensus.as_slice().len() * 8;
+    bytes += model.labels.len() * 8;
+    bytes += model.scores.len() * std::mem::size_of::<LengthScore>();
+    for layer in &model.layers {
+        // CSR: out/in offsets, targets, sources, weights, in-edge ids.
+        let e = layer.graph.edge_count();
+        let n = layer.graph.node_count();
+        bytes += 2 * (n + 1) * 4 + e * (4 + 4 + 8 + 4 + 4);
+        for (_, p) in layer.graph.nodes_iter() {
+            bytes += std::mem::size_of::<NodePattern>() + p.pattern.len() * 8;
+        }
+        for path in &layer.paths {
+            bytes += path.len() * 4 + std::mem::size_of::<Vec<NodeId>>();
+        }
+        bytes += layer.labels.len() * 8;
+        let emb = &layer.embedding;
+        bytes += emb.pca.mean().len() * 8
+            + emb.pca.components().as_slice().len() * 8
+            + emb.pca.explained_variance().len() * 8
+            + emb.nodes.len() * std::mem::size_of::<RadialNode>();
+    }
+    bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::anomaly::anomaly_scores;
+    use crate::pipeline::KGraph;
+    use tscore::{Dataset, DatasetKind, TimeSeries};
+
+    fn toy_dataset() -> Dataset {
+        let mut series = Vec::new();
+        for f in [0.2f64, 0.9] {
+            for p in 0..5 {
+                series.push(TimeSeries::new(
+                    (0..80).map(|i| ((i + p) as f64 * f).sin()).collect(),
+                ));
+            }
+        }
+        Dataset::new("toy", DatasetKind::Simulated, series)
+    }
+
+    fn fitted() -> KGraphModel {
+        let cfg = KGraphConfig {
+            n_lengths: 2,
+            psi: 10,
+            pca_sample: 400,
+            n_init: 2,
+            ..KGraphConfig::new(2)
+        };
+        KGraph::new(cfg).fit(&toy_dataset())
+    }
+
+    #[test]
+    fn round_trip_preserves_everything_observable() {
+        let model = fitted();
+        let bytes = write_model(&model);
+        let loaded = read_model(&bytes).expect("round trip");
+
+        assert_eq!(loaded.labels, model.labels);
+        assert_eq!(loaded.best_layer, model.best_layer);
+        assert_eq!(loaded.consensus.as_slice(), model.consensus.as_slice());
+        assert_eq!(loaded.layers.len(), model.layers.len());
+        for (a, b) in loaded.layers.iter().zip(&model.layers) {
+            assert_eq!(a.length, b.length);
+            assert_eq!(a.labels, b.labels);
+            assert_eq!(a.paths, b.paths);
+            assert_eq!(a.graph.node_count(), b.graph.node_count());
+            assert_eq!(a.graph.edge_count(), b.graph.edge_count());
+            for (ea, eb) in a.graph.edges_iter().zip(b.graph.edges_iter()) {
+                assert_eq!((ea.1, ea.2, ea.3), (eb.1, eb.2, eb.3));
+            }
+        }
+
+        // Fit → save → load → *identical* scores: the acceptance check.
+        let fresh: Vec<f64> = (0..80).map(|i| (i as f64 * 0.2).sin()).collect();
+        let a = anomaly_scores(model.best(), &fresh, 5).unwrap();
+        let b = anomaly_scores(loaded.best(), &fresh, 5).unwrap();
+        assert_eq!(a, b, "anomaly scores must be bit-identical after reload");
+        assert_eq!(model.predict(&fresh), loaded.predict(&fresh));
+        let fa = crate::features::feature_matrix(model.best(), true, true);
+        let fb = crate::features::feature_matrix(loaded.best(), true, true);
+        assert_eq!(fa, fb, "feature matrices must be bit-identical");
+    }
+
+    #[test]
+    fn save_and_load_file() {
+        let model = fitted();
+        let dir = std::env::temp_dir().join(format!("kgm-serial-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("toy.kgm");
+        save_model(&model, &path).expect("save");
+        let loaded = load_model(&path).expect("load");
+        assert_eq!(loaded.labels, model.labels);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_inputs_are_parse_errors() {
+        let model = fitted();
+        let bytes = write_model(&model);
+        // Wrong magic.
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(matches!(read_model(&bad), Err(TsError::Parse(_))));
+        // Truncations at every prefix must error, never panic.
+        for cut in [0, 3, 4, 10, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                matches!(read_model(&bytes[..cut]), Err(TsError::Parse(_))),
+                "cut at {cut} must be a parse error"
+            );
+        }
+        // Trailing garbage.
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(matches!(read_model(&long), Err(TsError::Parse(_))));
+    }
+
+    #[test]
+    fn approx_bytes_is_plausible() {
+        let model = fitted();
+        let approx = model_approx_bytes(&model);
+        let exact = write_model(&model).len();
+        // The estimate tracks the serialized size within a small factor.
+        assert!(approx > exact / 4, "approx {approx} vs serialized {exact}");
+        assert!(approx < exact * 4, "approx {approx} vs serialized {exact}");
+    }
+}

@@ -62,6 +62,35 @@ impl Pca {
         }
     }
 
+    /// Reassembles a PCA from its raw parts (the inverse of the accessors
+    /// below) — the hook model serialization uses to round-trip a fitted
+    /// projection without refitting. `components` must be one axis per row
+    /// with `mean.len()` columns and one `explained_variance` entry per
+    /// axis.
+    pub fn from_parts(
+        mean: Vec<f64>,
+        components: Matrix,
+        explained_variance: Vec<f64>,
+        total_variance: f64,
+    ) -> Pca {
+        assert_eq!(
+            components.cols(),
+            mean.len(),
+            "component width must match mean length"
+        );
+        assert_eq!(
+            components.rows(),
+            explained_variance.len(),
+            "one explained-variance entry per component"
+        );
+        Pca {
+            mean,
+            components,
+            explained_variance,
+            total_variance,
+        }
+    }
+
     /// Number of retained components.
     pub fn n_components(&self) -> usize {
         self.components.rows()
@@ -80,6 +109,12 @@ impl Pca {
     /// Variance captured by each retained component.
     pub fn explained_variance(&self) -> &[f64] {
         &self.explained_variance
+    }
+
+    /// Total variance of the training data (all directions, not just the
+    /// retained ones).
+    pub fn total_variance(&self) -> f64 {
+        self.total_variance
     }
 
     /// Fraction of total variance captured by each retained component.
@@ -144,6 +179,22 @@ mod tests {
             rows.push(vec![t + noise, t - noise]);
         }
         Matrix::from_rows(&rows)
+    }
+
+    #[test]
+    fn from_parts_round_trips_projections() {
+        let data = diagonal_cloud();
+        let pca = Pca::fit(&data, 2);
+        let rebuilt = Pca::from_parts(
+            pca.mean().to_vec(),
+            pca.components().clone(),
+            pca.explained_variance().to_vec(),
+            pca.total_variance(),
+        );
+        assert_eq!(rebuilt.total_variance(), pca.total_variance());
+        for r in 0..data.rows() {
+            assert_eq!(rebuilt.project(data.row(r)), pca.project(data.row(r)));
+        }
     }
 
     #[test]

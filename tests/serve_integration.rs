@@ -1,0 +1,310 @@
+//! Loopback integration tests for the `graphserve` subsystem: many
+//! concurrent clients against one shared immutable model, admission
+//! control under overload, and graceful drain on shutdown.
+
+use graphserve::{ModelStore, Server, ServerConfig};
+use kgraph::{KGraph, KGraphConfig};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+use tscore::{Dataset, DatasetKind, TimeSeries};
+
+/// Fits one small model (named `demo`) into a fresh store.
+fn demo_store() -> Arc<ModelStore> {
+    let series: Vec<TimeSeries> = (0..8)
+        .map(|p| TimeSeries::new((0..80).map(|i| ((i + p) as f64 * 0.3).sin()).collect()))
+        .collect();
+    let dataset = Dataset::new("demo", DatasetKind::Simulated, series);
+    let cfg = KGraphConfig {
+        n_lengths: 1,
+        psi: 10,
+        pca_sample: 300,
+        n_init: 2,
+        ..KGraphConfig::new(2)
+    }
+    .with_lengths(vec![16]);
+    let store = Arc::new(ModelStore::new(0));
+    store.insert("demo", Arc::new(KGraph::new(cfg).fit(&dataset)));
+    store
+}
+
+/// Sends one raw HTTP request and returns `(status, body)`.
+fn request(addr: std::net::SocketAddr, method: &str, target: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    write!(
+        stream,
+        "{method} {target} HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("write request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    parse_response(&raw)
+}
+
+fn parse_response(raw: &str) -> (u16, String) {
+    let status: u16 = raw
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad response: {raw:?}"));
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn series_json(phase: usize) -> String {
+    let values: Vec<String> = (0..80)
+        .map(|i| ((i + phase) as f64 * 0.3).sin().to_string())
+        .collect();
+    format!("[{}]", values.join(","))
+}
+
+#[test]
+fn concurrent_clients_share_one_model() {
+    let server = Server::start(
+        ServerConfig {
+            workers: 4,
+            queue_capacity: 256,
+            ..ServerConfig::default()
+        },
+        demo_store(),
+    )
+    .expect("start server");
+    let addr = server.addr();
+
+    // 36 concurrent clients, mixing every read endpoint; all of them hit
+    // the same Arc-shared model. The expected score body is fetched once
+    // up front so every concurrent scorer can assert byte-equality.
+    let (status, expected_scores) = request(
+        addr,
+        "POST",
+        "/models/demo/score?context=3",
+        &series_json(0),
+    );
+    assert_eq!(status, 200, "{expected_scores}");
+
+    let handles: Vec<_> = (0..36)
+        .map(|i| {
+            let expected = expected_scores.clone();
+            std::thread::spawn(move || match i % 4 {
+                0 => {
+                    let (status, body) = request(
+                        addr,
+                        "POST",
+                        "/models/demo/score?context=3",
+                        &series_json(0),
+                    );
+                    assert_eq!(status, 200, "{body}");
+                    assert_eq!(body, expected, "identical input, identical scores");
+                }
+                1 => {
+                    let (status, body) = request(addr, "GET", "/models/demo/render?format=svg", "");
+                    assert_eq!(status, 200);
+                    assert!(body.contains("<svg"), "{body}");
+                }
+                2 => {
+                    let batch = format!("[{},{}]", series_json(i), series_json(i + 1));
+                    let (status, body) =
+                        request(addr, "POST", "/models/demo/batch?op=predict", &batch);
+                    assert_eq!(status, 200, "{body}");
+                    assert!(body.contains("\"cluster\":"), "{body}");
+                }
+                _ => {
+                    let (status, body) =
+                        request(addr, "POST", "/models/demo/features", &series_json(i));
+                    assert_eq!(status, 200, "{body}");
+                    assert!(body.starts_with("{\"features\":["), "{body}");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+
+    let stats = server.stats();
+    assert!(
+        stats.served.load(std::sync::atomic::Ordering::Relaxed) >= 37,
+        "all requests served"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn batch_is_bit_identical_to_single_requests_over_the_wire() {
+    let server = Server::start(
+        ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        },
+        demo_store(),
+    )
+    .expect("start server");
+    let addr = server.addr();
+
+    let rows: Vec<String> = (0..4).map(series_json).collect();
+    let batch_body = format!("[{}]", rows.join(","));
+    let (status, batch) = request(
+        addr,
+        "POST",
+        "/models/demo/batch?op=score&context=3",
+        &batch_body,
+    );
+    assert_eq!(status, 200, "{batch}");
+
+    // The batch body is `{"results":[…,…]}` — each slot must equal the
+    // body of the corresponding single request, byte for byte.
+    let inner = batch
+        .strip_prefix("{\"results\":[")
+        .and_then(|s| s.strip_suffix("]}"))
+        .expect("batch envelope");
+    let mut rest = inner;
+    for row in &rows {
+        let (status, single) = request(addr, "POST", "/models/demo/score?context=3", row);
+        assert_eq!(status, 200);
+        assert!(
+            rest.starts_with(single.as_str()),
+            "batch slot diverges from single response:\nbatch …{}\nsingle {}",
+            &rest[..rest.len().min(80)],
+            &single[..single.len().min(80)]
+        );
+        rest = rest[single.len()..].trim_start_matches(',');
+    }
+    assert!(rest.is_empty(), "no extra batch slots");
+    server.shutdown();
+}
+
+#[test]
+fn overload_sheds_with_503_and_retry_after() {
+    // One worker, admission queue of one: a sleeping request occupies the
+    // worker, a second fills the only queue slot, and every further
+    // connection must be refused at the door with a fast 503.
+    let server = Server::start(
+        ServerConfig {
+            workers: 1,
+            queue_capacity: 1,
+            ..ServerConfig::default()
+        },
+        demo_store(),
+    )
+    .expect("start server");
+    let addr = server.addr();
+
+    let occupiers: Vec<_> = (0..2)
+        .map(|_| std::thread::spawn(move || request(addr, "GET", "/debug/sleep?ms=1200", "").0))
+        .collect();
+    // Let the first occupier reach the worker and the second settle into
+    // the queue slot before bursting.
+    std::thread::sleep(Duration::from_millis(300));
+
+    let mut shed = 0usize;
+    let mut retry_after_seen = false;
+    for _ in 0..10 {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        write!(stream, "GET /health HTTP/1.1\r\nhost: t\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).expect("read");
+        let (status, _) = parse_response(&raw);
+        if status == 503 {
+            shed += 1;
+            retry_after_seen |= raw.to_ascii_lowercase().contains("retry-after:");
+        }
+    }
+    assert!(shed >= 8, "expected most of the burst shed, got {shed}/10");
+    assert!(retry_after_seen, "503 responses carry Retry-After");
+
+    for h in occupiers {
+        assert_eq!(h.join().unwrap(), 200, "occupiers still complete");
+    }
+    // Once the occupiers drained, the server serves normally again.
+    let (status, _) = request(addr, "GET", "/health", "");
+    assert_eq!(status, 200);
+    assert!(
+        server
+            .stats()
+            .shed
+            .load(std::sync::atomic::Ordering::Relaxed)
+            >= shed as u64,
+        "shed counter tracks refusals"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_drains_in_flight_requests() {
+    let server = Server::start(
+        ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        },
+        demo_store(),
+    )
+    .expect("start server");
+    let addr = server.addr();
+
+    // A slow request is mid-flight when shutdown begins; it must still
+    // complete with a 200 because workers drain admitted connections.
+    let slow = std::thread::spawn(move || request(addr, "GET", "/debug/sleep?ms=700", ""));
+    std::thread::sleep(Duration::from_millis(200));
+    server.shutdown();
+
+    let (status, body) = slow.join().expect("slow client");
+    assert_eq!(status, 200, "in-flight request drained: {body}");
+    assert!(
+        TcpStream::connect_timeout(&addr, Duration::from_millis(300)).is_err(),
+        "listener is gone after shutdown"
+    );
+}
+
+#[test]
+fn fit_score_and_evict_over_the_wire() {
+    let server = Server::start(
+        ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        },
+        Arc::new(ModelStore::new(0)),
+    )
+    .expect("start server");
+    let addr = server.addr();
+
+    // Empty registry: model routes 404, health is fine.
+    let (status, _) = request(addr, "POST", "/models/demo/score", "[1,2,3]");
+    assert_eq!(status, 404);
+    let (status, _) = request(addr, "GET", "/health", "");
+    assert_eq!(status, 200);
+
+    // Fit a model over the wire, then serve from it.
+    let rows: Vec<String> = (0..6)
+        .map(|p| {
+            (0..60)
+                .map(|i| ((i + p) as f64 * 0.4).sin().to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        })
+        .collect();
+    let (status, body) = request(addr, "PUT", "/models/wired?k=2&seed=3", &rows.join("\n"));
+    assert_eq!(status, 201, "{body}");
+    let (status, body) = request(addr, "GET", "/models", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"name\":\"wired\""), "{body}");
+    let (status, body) = request(addr, "POST", "/models/wired/predict", &series_json(0));
+    assert_eq!(status, 200, "{body}");
+
+    // And remove it again.
+    let (status, _) = request(addr, "DELETE", "/models/wired", "");
+    assert_eq!(status, 200);
+    let (status, _) = request(addr, "POST", "/models/wired/predict", &series_json(0));
+    assert_eq!(status, 404);
+    server.shutdown();
+}
