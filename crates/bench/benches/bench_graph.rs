@@ -8,11 +8,16 @@
 //!
 //! * `build/*` — constructing the weighted graph from the raw stream,
 //! * `lookup/*` — point edge lookups (linear scan vs. binary search),
-//! * `pagerank/*` — traversal (arena indirection vs. contiguous slices).
+//! * `pagerank/*` — traversal (arena indirection vs. contiguous slices),
+//! * `stream/*` — the streaming-maintenance path: bounded-memory spill
+//!   build, batched delta ingest, and base+delta compaction.
+//!
+//! Timings are persisted as `BENCH_graph.json` (see the criterion shim's
+//! `write_baseline`), so the perf trajectory has a committed baseline.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use tsgraph::algo;
-use tsgraph::{CsrGraph, DiGraph, GraphBuilder, NodeId};
+use tsgraph::{CsrGraph, DeltaGraph, DeltaView, DiGraph, GraphBuilder, NodeId, SpillBuilder};
 
 const NODES: usize = 12_000;
 const TRANSITIONS: usize = 400_000;
@@ -151,9 +156,68 @@ fn bench_pagerank(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_stream(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stream");
+    group.sample_size(10);
+    let stream = transition_stream(NODES, TRANSITIONS);
+    // Base CSR over the first half of the stream; the second half arrives
+    // "live" as delta batches.
+    let (head, tail) = stream.split_at(stream.len() / 2);
+    let base = build_csr(NODES, head);
+
+    // Bounded-memory build: the whole stream through the spill/merge path
+    // with a budget far below the stream length (forces several runs).
+    group.bench_with_input(
+        BenchmarkId::new("spill_build", TRANSITIONS),
+        &stream,
+        |b, stream| {
+            b.iter(|| {
+                let mut sb = SpillBuilder::new(64 * 1024).expect("spill dir");
+                for &(s, t) in stream.iter() {
+                    sb.add_edge(NodeId(s), NodeId(t), 1.0).expect("add_edge");
+                }
+                sb.build(vec![(); NODES], |acc, w| *acc += w)
+                    .expect("spill build")
+            })
+        },
+    );
+
+    // Incremental maintenance: fold the live half into a DeltaGraph in
+    // refresh-sized batches (sort + 2-way merge per batch).
+    group.bench_with_input(
+        BenchmarkId::new("delta_ingest", tail.len()),
+        &tail,
+        |b, tail| {
+            b.iter(|| {
+                let mut delta = DeltaGraph::new(NODES);
+                for chunk in tail.chunks(4096) {
+                    delta.ingest(
+                        chunk.iter().map(|&(s, t)| (NodeId(s), NodeId(t), 1.0)),
+                        |acc, w| *acc += w,
+                    );
+                }
+                black_box(delta.edge_count())
+            })
+        },
+    );
+
+    // Compaction: merge the accumulated delta into a fresh base CSR.
+    let mut delta = DeltaGraph::new(NODES);
+    delta.ingest(
+        tail.iter().map(|&(s, t)| (NodeId(s), NodeId(t), 1.0)),
+        |acc, w| *acc += w,
+    );
+    group.bench_with_input(
+        BenchmarkId::new("compact", delta.edge_count()),
+        &(&base, &delta),
+        |b, (base, delta)| b.iter(|| DeltaView::new(base, delta).compact(|acc, w| *acc += w)),
+    );
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_build, bench_lookup, bench_pagerank
+    targets = bench_build, bench_lookup, bench_pagerank, bench_stream
 }
 criterion_main!(benches);

@@ -3,18 +3,22 @@
 //! ```text
 //! graphserve [--addr 127.0.0.1:7878] [--models-dir DIR] [--demo]
 //!            [--workers N] [--queue N] [--budget-mb N] [--port-file PATH]
+//!            [--refresh-every N] [--compact-every N]
 //! ```
 //!
 //! `--models-dir` loads every `*.kgm` file at startup (file stem = model
 //! name). `--demo` fits a small model named `demo` on the synthetic CBF
 //! dataset so the server is immediately usable. `--port-file` writes the
 //! bound address to a file once listening — that is how scripts (and CI)
-//! discover an ephemeral port.
+//! discover an ephemeral port. `--refresh-every` / `--compact-every` set
+//! the streaming-ingest cadences (points per rescore, refreshes per
+//! compaction).
 
 use graphserve::{ModelStore, Server, ServerConfig};
 use kgraph::{KGraph, KGraphConfig};
 use std::path::PathBuf;
 use std::sync::Arc;
+use streamfit::StreamConfig;
 
 struct Args {
     addr: String,
@@ -24,12 +28,14 @@ struct Args {
     queue: usize,
     budget_mb: usize,
     port_file: Option<PathBuf>,
+    stream: StreamConfig,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: graphserve [--addr HOST:PORT] [--models-dir DIR] [--demo] \
-         [--workers N] [--queue N] [--budget-mb N] [--port-file PATH]"
+         [--workers N] [--queue N] [--budget-mb N] [--port-file PATH] \
+         [--refresh-every N] [--compact-every N]"
     );
     std::process::exit(2);
 }
@@ -43,6 +49,7 @@ fn parse_args() -> Args {
         queue: 64,
         budget_mb: 0,
         port_file: None,
+        stream: StreamConfig::default(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -62,6 +69,14 @@ fn parse_args() -> Args {
                 args.budget_mb = value("--budget-mb").parse().unwrap_or_else(|_| usage())
             }
             "--port-file" => args.port_file = Some(PathBuf::from(value("--port-file"))),
+            "--refresh-every" => {
+                args.stream.refresh_every =
+                    value("--refresh-every").parse().unwrap_or_else(|_| usage())
+            }
+            "--compact-every" => {
+                args.stream.compact_every =
+                    value("--compact-every").parse().unwrap_or_else(|_| usage())
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -102,6 +117,7 @@ fn main() {
         addr: args.addr,
         workers: args.workers,
         queue_capacity: args.queue,
+        stream: args.stream,
         ..ServerConfig::default()
     };
     let server = match Server::start(config, store) {

@@ -19,7 +19,11 @@
 //!   `render` / `batch` endpoints speaking JSON (and CSV on request);
 //!   the batch endpoint fans rows over a bounded in-process pool using
 //!   the same per-series code as the single endpoints, so results are
-//!   bit-identical.
+//!   bit-identical. Streaming ingest (`POST /models/{name}/ingest`,
+//!   `GET /models/{name}/stream-status`) appends points to a
+//!   [`streamfit::StreamSession`] and publishes compacted models back
+//!   into the store; `GET /metrics` exposes the shared counters as
+//!   plain text.
 //!
 //! See `crates/graphserve/README.md` for the wire format and
 //! `examples/serve_quickstart.rs` for an end-to-end walkthrough.
@@ -33,5 +37,6 @@ pub mod routes;
 pub mod server;
 pub mod store;
 
+pub use routes::RouteContext;
 pub use server::{Server, ServerConfig, ServerStats};
 pub use store::{ModelStore, StoreReader};

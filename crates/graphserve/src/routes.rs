@@ -12,6 +12,7 @@
 
 use crate::http::{Request, Response};
 use crate::json::{f64s_to_json, write_json_string, Json};
+use crate::server::ServerStats;
 use crate::store::{ModelStore, StoreReader};
 use graphint::frames::graph::GraphFrame;
 use kgraph::anomaly::anomaly_scores;
@@ -20,8 +21,22 @@ use kgraph::graphoid::{gamma_graphoid, lambda_graphoid};
 use kgraph::pipeline::{KGraph, KGraphModel};
 use kgraph::KGraphConfig;
 use std::sync::Arc;
+use streamfit::{SessionRegistry, StreamStatus};
 use tscore::error::TsError;
 use tscore::{Dataset, DatasetKind, TimeSeries};
+
+/// Everything a handler can reach besides the per-worker [`StoreReader`]:
+/// the store (admin routes), the streaming-session registry (ingest
+/// routes) and the shared counters (metrics).
+pub struct RouteContext<'a> {
+    /// The model registry; only admin routes (fit/delete/ingest
+    /// publication) write to it.
+    pub store: &'a ModelStore,
+    /// Streaming sessions keyed by model name.
+    pub sessions: &'a SessionRegistry,
+    /// Shared monotonic counters.
+    pub stats: &'a ServerStats,
+}
 
 /// Maximum number of series accepted in one batch request.
 const MAX_BATCH_ROWS: usize = 4096;
@@ -182,16 +197,47 @@ fn query_f64(req: &Request, name: &str, default: f64) -> Result<f64, Response> {
 // Routing
 // ---------------------------------------------------------------------------
 
+/// The metrics label of one parsed request; must return a member of
+/// [`crate::server::ROUTE_LABELS`].
+fn route_label(method: &str, segments: &[&str]) -> &'static str {
+    match (method, segments) {
+        ("GET", ["health"]) => "health",
+        ("GET", ["metrics"]) => "metrics",
+        ("GET", ["models"]) => "models",
+        ("PUT", ["models", _]) => "fit",
+        ("DELETE", ["models", _]) => "delete",
+        ("POST", ["models", _, "score"]) => "score",
+        ("POST", ["models", _, "features"]) => "features",
+        ("POST", ["models", _, "predict"]) => "predict",
+        ("POST", ["models", _, "batch"]) => "batch",
+        ("POST", ["models", _, "ingest"]) => "ingest",
+        ("GET", ["models", _, "graphoid"]) => "graphoid",
+        ("GET", ["models", _, "render"]) => "render",
+        ("GET", ["models", _, "stream-status"]) => "stream_status",
+        ("GET", ["models", _]) => "model_info",
+        ("GET", ["debug", "sleep"]) => "debug_sleep",
+        _ => "other",
+    }
+}
+
 /// Dispatches one parsed request. `reader` is the calling worker's cached
-/// registry view; `store` is only touched by admin routes (fit/delete).
-pub fn handle(req: &Request, reader: &mut StoreReader<'_>, store: &ModelStore) -> Response {
+/// registry view; `ctx` carries the store (admin routes), the streaming
+/// sessions (ingest routes) and the shared counters (metrics).
+pub fn handle(req: &Request, reader: &mut StoreReader<'_>, ctx: &RouteContext<'_>) -> Response {
     let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    ctx.stats
+        .bump_route(route_label(req.method.as_str(), &segments));
+    let store = ctx.store;
     match (req.method.as_str(), segments.as_slice()) {
         ("GET", ["health"]) => health(store),
+        ("GET", ["metrics"]) => metrics_endpoint(ctx),
         ("GET", ["models"]) => list_models(store),
         ("PUT", ["models", name]) => fit_model(req, store, name),
         ("DELETE", ["models", name]) => {
             if store.remove(name) {
+                // The streaming session buffers node ids of the deleted
+                // graph; drop it with the model.
+                ctx.sessions.remove(name);
                 Response::json(200, format!("{{\"deleted\":\"{name}\"}}"))
             } else {
                 Response::error(404, &format!("no model named {name:?}"))
@@ -205,12 +251,14 @@ pub fn handle(req: &Request, reader: &mut StoreReader<'_>, store: &ModelStore) -
             with_model(reader, name, |m| predict_endpoint(req, m))
         }
         ("POST", ["models", name, "batch"]) => with_model(reader, name, |m| batch_endpoint(req, m)),
+        ("POST", ["models", name, "ingest"]) => ingest_endpoint(req, reader, ctx, name),
         ("GET", ["models", name, "graphoid"]) => {
             with_model(reader, name, |m| graphoid_endpoint(req, m))
         }
         ("GET", ["models", name, "render"]) => {
             with_model(reader, name, |m| render_endpoint(req, m))
         }
+        ("GET", ["models", name, "stream-status"]) => stream_status_endpoint(reader, ctx, name),
         ("GET", ["models", name]) => with_model(reader, name, model_info),
         ("GET", ["debug", "sleep"]) => debug_sleep(req),
         (method, _) if !matches!(method, "GET" | "POST" | "PUT" | "DELETE") => {
@@ -543,6 +591,193 @@ fn render_endpoint(req: &Request, model: &KGraphModel) -> Response {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Streaming ingest
+// ---------------------------------------------------------------------------
+
+/// Ingest body: `{"series": 0, "points": [...]}` selects the series
+/// in-band; a bare JSON array or a CSV row carries points only and the
+/// series index comes from `?series=` (default 0).
+fn parse_ingest(req: &Request) -> Result<(Option<usize>, Vec<f64>), Response> {
+    let text = body_str(req)?;
+    let (index, points) = if is_json_body(req) {
+        let v = Json::parse(text).map_err(|e| Response::error(400, &e))?;
+        if let Some(points) = v.get("points") {
+            let index = match v.get("series") {
+                None => None,
+                Some(s) => Some(
+                    s.as_f64()
+                        .filter(|f| f.fract() == 0.0 && *f >= 0.0)
+                        .ok_or_else(|| {
+                            Response::error(400, "series must be a non-negative integer")
+                        })? as usize,
+                ),
+            };
+            let points = points.to_f64s().map_err(|e| Response::error(400, &e))?;
+            (index, points)
+        } else {
+            let arr = v.get("series").unwrap_or(&v);
+            (None, arr.to_f64s().map_err(|e| Response::error(400, &e))?)
+        }
+    } else {
+        (
+            None,
+            parse_csv_row(text).map_err(|e| Response::error(400, &e))?,
+        )
+    };
+    if points.is_empty() {
+        return Err(Response::error(400, "empty points"));
+    }
+    Ok((index, points))
+}
+
+/// `POST /models/{name}/ingest?series=` — appends points to an open
+/// series of the model's streaming session. New complete windows are
+/// routed through the stored embeddings and buffered as transition
+/// triples; the session's refresh cadence rescores against the merged
+/// base+delta view, and its compaction cadence publishes a fresh base CSR
+/// back into the store. Readers are never blocked: they keep scoring
+/// whatever `Arc` snapshot they hold.
+fn ingest_endpoint(
+    req: &Request,
+    reader: &mut StoreReader<'_>,
+    ctx: &RouteContext<'_>,
+    name: &str,
+) -> Response {
+    let model = match reader.get(name) {
+        Some(model) => model,
+        None => return Response::error(404, &format!("no model named {name:?}")),
+    };
+    let (body_index, points) = match parse_ingest(req) {
+        Ok(parsed) => parsed,
+        Err(resp) => return resp,
+    };
+    let index = match body_index {
+        Some(i) => i,
+        None => match query_usize(req, "series", 0) {
+            Ok(i) => i,
+            Err(resp) => return resp,
+        },
+    };
+    let session = ctx.sessions.session_for(name, &model);
+    let mut guard = session.lock().unwrap_or_else(|e| e.into_inner());
+    match guard.append(index, &points) {
+        Ok(outcome) => {
+            if let Some(next) = &outcome.compacted {
+                // Publish the compacted base: a new snapshot version for
+                // future readers; in-flight readers keep the old Arc.
+                ctx.store.insert(name, Arc::clone(next));
+            }
+            Response::json(
+                200,
+                format!(
+                    "{{\"series\":{index},\"appended\":{},\"new_windows\":{},\
+                     \"refreshed\":{},\"compacted\":{}}}",
+                    points.len(),
+                    outcome.new_windows,
+                    outcome.refreshed,
+                    outcome.compacted.is_some()
+                ),
+            )
+        }
+        Err(e) => error_response(&e),
+    }
+}
+
+fn stream_status_json(status: &StreamStatus) -> String {
+    let mut body = String::from("{\"active\":true,");
+    body.push_str(&format!(
+        "\"points_total\":{},\"points_pending\":{},\"refreshes\":{},\
+         \"compactions\":{},\"pending_triples\":{},\"delta_edges\":{},",
+        status.points_total,
+        status.points_pending,
+        status.refreshes,
+        status.compactions,
+        status.pending_triples,
+        status.delta_edges
+    ));
+    body.push_str("\"series\":[");
+    for (i, s) in status.series.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&format!(
+            "{{\"index\":{},\"points\":{},\"windows\":{},\"mean_score\":",
+            s.index, s.points, s.windows
+        ));
+        match s.mean_score {
+            Some(v) => crate::json::write_json_f64(&mut body, v),
+            None => body.push_str("null"),
+        }
+        body.push_str(",\"max_score\":");
+        match s.max_score {
+            Some(v) => crate::json::write_json_f64(&mut body, v),
+            None => body.push_str("null"),
+        }
+        body.push('}');
+    }
+    body.push_str("]}");
+    body
+}
+
+/// `GET /models/{name}/stream-status` — the model's streaming-session
+/// summary, or `{"active":false}` when nothing has been ingested yet.
+fn stream_status_endpoint(
+    reader: &mut StoreReader<'_>,
+    ctx: &RouteContext<'_>,
+    name: &str,
+) -> Response {
+    if reader.get(name).is_none() {
+        return Response::error(404, &format!("no model named {name:?}"));
+    }
+    match ctx.sessions.get(name) {
+        None => Response::json(200, "{\"active\":false,\"series\":[]}".to_string()),
+        Some(session) => {
+            let status = session.lock().unwrap_or_else(|e| e.into_inner()).status();
+            Response::json(200, stream_status_json(&status))
+        }
+    }
+}
+
+/// `GET /metrics` — plain-text counters: admission-control totals, queue
+/// depth high-water, per-route request counts, store and session gauges.
+fn metrics_endpoint(ctx: &RouteContext<'_>) -> Response {
+    use std::sync::atomic::Ordering;
+    let stats = ctx.stats;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "graphserve_requests_admitted_total {}\n",
+        stats.admitted.load(Ordering::Relaxed)
+    ));
+    out.push_str(&format!(
+        "graphserve_requests_shed_total {}\n",
+        stats.shed.load(Ordering::Relaxed)
+    ));
+    out.push_str(&format!(
+        "graphserve_responses_served_total {}\n",
+        stats.served.load(Ordering::Relaxed)
+    ));
+    out.push_str(&format!(
+        "graphserve_queue_depth_high_water {}\n",
+        stats.queue_high_water.load(Ordering::Relaxed)
+    ));
+    for (label, count) in stats.route_counts() {
+        out.push_str(&format!(
+            "graphserve_route_requests_total{{route=\"{label}\"}} {count}\n"
+        ));
+    }
+    out.push_str(&format!("graphserve_models {}\n", ctx.store.len()));
+    out.push_str(&format!(
+        "graphserve_model_bytes {}\n",
+        ctx.store.total_bytes()
+    ));
+    out.push_str(&format!(
+        "graphserve_stream_sessions {}\n",
+        ctx.sessions.len()
+    ));
+    Response::text(200, out)
+}
+
 /// `GET /debug/sleep?ms=` — parks the worker briefly; exists so operators
 /// (and the integration tests) can exercise admission control on demand.
 fn debug_sleep(req: &Request) -> Response {
@@ -569,7 +804,35 @@ mod tests {
         Request::read_from(&mut std::io::Cursor::new(bytes), 1 << 20).unwrap()
     }
 
-    fn demo_store() -> ModelStore {
+    /// Store + session registry + stats, so the tests below can keep the
+    /// old three-argument call shape via the local `handle` wrapper.
+    struct TestCtx {
+        store: ModelStore,
+        sessions: SessionRegistry,
+        stats: ServerStats,
+    }
+
+    impl TestCtx {
+        fn reader(&self) -> StoreReader<'_> {
+            self.store.reader()
+        }
+    }
+
+    /// Shadows `super::handle`: adapts a [`TestCtx`] into a
+    /// [`RouteContext`].
+    fn handle(req: &Request, reader: &mut StoreReader<'_>, ctx: &TestCtx) -> Response {
+        super::handle(
+            req,
+            reader,
+            &RouteContext {
+                store: &ctx.store,
+                sessions: &ctx.sessions,
+                stats: &ctx.stats,
+            },
+        )
+    }
+
+    fn demo_store() -> TestCtx {
         let store = ModelStore::new(0);
         let series: Vec<TimeSeries> = (0..8)
             .map(|p| TimeSeries::new((0..80).map(|i| ((i + p) as f64 * 0.3).sin()).collect()))
@@ -584,7 +847,11 @@ mod tests {
         }
         .with_lengths(vec![16]);
         store.insert("demo", Arc::new(KGraph::new(cfg).fit(&ds)));
-        store
+        TestCtx {
+            store,
+            sessions: SessionRegistry::new(streamfit::StreamConfig::default()),
+            stats: ServerStats::default(),
+        }
     }
 
     fn body_text(resp: &Response) -> &str {
@@ -829,5 +1096,130 @@ mod tests {
         assert_eq!(resp.status, 404);
         let resp = handle(&request("PATCH", "/models/demo", b""), &mut reader, &store);
         assert_eq!(resp.status, 405);
+    }
+
+    #[test]
+    fn ingest_and_stream_status() {
+        let store = demo_store();
+        let mut reader = store.reader();
+        // Before any ingest: model exists, session does not.
+        let resp = handle(
+            &request("GET", "/models/demo/stream-status", b""),
+            &mut reader,
+            &store,
+        );
+        assert_eq!(resp.status, 200);
+        assert!(body_text(&resp).contains("\"active\":false"));
+
+        // Ingest a full wave via the object form.
+        let points: Vec<f64> = (0..60).map(|i| (i as f64 * 0.3).sin()).collect();
+        let body = format!("{{\"series\":0,\"points\":{}}}", f64s_to_json(&points));
+        let resp = handle(
+            &request("POST", "/models/demo/ingest", body.as_bytes()),
+            &mut reader,
+            &store,
+        );
+        assert_eq!(resp.status, 200, "{}", body_text(&resp));
+        let parsed = Json::parse(body_text(&resp)).unwrap();
+        assert_eq!(parsed.get("series").unwrap().as_f64(), Some(0.0));
+        assert_eq!(parsed.get("appended").unwrap().as_f64(), Some(60.0));
+        assert!(parsed.get("new_windows").unwrap().as_f64().unwrap() > 0.0);
+
+        // CSV body with ?series= opens a second series.
+        let csv: String = points
+            .iter()
+            .map(f64::to_string)
+            .collect::<Vec<_>>()
+            .join(",");
+        let resp = handle(
+            &request("POST", "/models/demo/ingest?series=1", csv.as_bytes()),
+            &mut reader,
+            &store,
+        );
+        assert_eq!(resp.status, 200, "{}", body_text(&resp));
+
+        let resp = handle(
+            &request("GET", "/models/demo/stream-status", b""),
+            &mut reader,
+            &store,
+        );
+        assert_eq!(resp.status, 200);
+        let status = Json::parse(body_text(&resp)).unwrap();
+        assert_eq!(status.get("points_total").unwrap().as_f64(), Some(120.0));
+        assert_eq!(
+            status.get("series").unwrap().as_arr().map(|s| s.len()),
+            Some(2)
+        );
+
+        // Out-of-range series index maps to 422; bad bodies to 400.
+        let resp = handle(
+            &request("POST", "/models/demo/ingest?series=9", b"[1,2,3]"),
+            &mut reader,
+            &store,
+        );
+        assert_eq!(resp.status, 422, "{}", body_text(&resp));
+        let resp = handle(
+            &request("POST", "/models/demo/ingest", b"{\"points\":[]}"),
+            &mut reader,
+            &store,
+        );
+        assert_eq!(resp.status, 400);
+        let resp = handle(
+            &request("POST", "/models/nope/ingest", b"[1,2]"),
+            &mut reader,
+            &store,
+        );
+        assert_eq!(resp.status, 404);
+    }
+
+    #[test]
+    fn delete_drops_the_stream_session() {
+        let store = demo_store();
+        let mut reader = store.reader();
+        let points: Vec<f64> = (0..40).map(|i| (i as f64 * 0.3).sin()).collect();
+        let resp = handle(
+            &request(
+                "POST",
+                "/models/demo/ingest",
+                f64s_to_json(&points).as_bytes(),
+            ),
+            &mut reader,
+            &store,
+        );
+        assert_eq!(resp.status, 200, "{}", body_text(&resp));
+        assert_eq!(store.sessions.len(), 1);
+        let resp = handle(&request("DELETE", "/models/demo", b""), &mut reader, &store);
+        assert_eq!(resp.status, 200);
+        assert!(store.sessions.is_empty(), "session died with its model");
+    }
+
+    #[test]
+    fn metrics_reports_route_counts() {
+        let store = demo_store();
+        let mut reader = store.reader();
+        for _ in 0..3 {
+            handle(&request("GET", "/health", b""), &mut reader, &store);
+        }
+        handle(&request("GET", "/nope", b""), &mut reader, &store);
+        let resp = handle(&request("GET", "/metrics", b""), &mut reader, &store);
+        assert_eq!(resp.status, 200);
+        let text = body_text(&resp);
+        assert!(
+            text.contains("graphserve_route_requests_total{route=\"health\"} 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("graphserve_route_requests_total{route=\"other\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("graphserve_route_requests_total{route=\"metrics\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("graphserve_models 1"), "{text}");
+        assert!(
+            text.contains("graphserve_queue_depth_high_water 0"),
+            "{text}"
+        );
     }
 }

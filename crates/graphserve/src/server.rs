@@ -23,7 +23,7 @@
 
 use crate::http::{HttpError, Request, Response};
 use crate::queue::{BoundedQueue, PushError};
-use crate::routes;
+use crate::routes::{self, RouteContext};
 use crate::store::ModelStore;
 use std::io::ErrorKind;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -31,6 +31,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
+use streamfit::{SessionRegistry, StreamConfig};
 
 /// Tunables for [`Server::start`].
 #[derive(Debug, Clone)]
@@ -49,6 +50,9 @@ pub struct ServerConfig {
     pub retry_after_secs: u32,
     /// Largest accepted request body.
     pub max_body_bytes: usize,
+    /// Cadences of the streaming ingest sessions opened by
+    /// `POST /models/{name}/ingest`.
+    pub stream: StreamConfig,
 }
 
 impl Default for ServerConfig {
@@ -61,12 +65,34 @@ impl Default for ServerConfig {
             write_timeout: Duration::from_secs(10),
             retry_after_secs: 1,
             max_body_bytes: 8 * 1024 * 1024,
+            stream: StreamConfig::default(),
         }
     }
 }
 
+/// Route labels tracked by the per-route request counters, in counter
+/// order. `routes::handle` classifies every request into exactly one.
+pub const ROUTE_LABELS: [&str; 16] = [
+    "health",
+    "models",
+    "model_info",
+    "fit",
+    "delete",
+    "score",
+    "features",
+    "predict",
+    "batch",
+    "graphoid",
+    "render",
+    "ingest",
+    "stream_status",
+    "metrics",
+    "debug_sleep",
+    "other",
+];
+
 /// Monotonic counters, shared by all server threads.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ServerStats {
     /// Requests admitted to the queue.
     pub admitted: AtomicU64,
@@ -74,6 +100,41 @@ pub struct ServerStats {
     pub shed: AtomicU64,
     /// Responses written by workers.
     pub served: AtomicU64,
+    /// Highest admission-queue depth observed by the accept thread.
+    pub queue_high_water: AtomicU64,
+    /// Requests dispatched per route, indexed like [`ROUTE_LABELS`].
+    routes: [AtomicU64; ROUTE_LABELS.len()],
+}
+
+impl Default for ServerStats {
+    fn default() -> Self {
+        ServerStats {
+            admitted: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            served: AtomicU64::new(0),
+            queue_high_water: AtomicU64::new(0),
+            routes: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl ServerStats {
+    /// Bumps the counter of `label`; unknown labels count as `"other"`.
+    pub fn bump_route(&self, label: &str) {
+        let idx = ROUTE_LABELS
+            .iter()
+            .position(|l| *l == label)
+            .unwrap_or(ROUTE_LABELS.len() - 1);
+        self.routes[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the per-route counters, in [`ROUTE_LABELS`] order.
+    pub fn route_counts(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        ROUTE_LABELS
+            .iter()
+            .zip(&self.routes)
+            .map(|(label, n)| (*label, n.load(Ordering::Relaxed)))
+    }
 }
 
 /// A running server. Dropping it without [`Server::shutdown`] detaches the
@@ -82,6 +143,7 @@ pub struct Server {
     addr: SocketAddr,
     queue: Arc<BoundedQueue<TcpStream>>,
     stats: Arc<ServerStats>,
+    sessions: Arc<SessionRegistry>,
     shutting_down: Arc<AtomicBool>,
     accept_handle: Option<JoinHandle<()>>,
     worker_handles: Vec<JoinHandle<()>>,
@@ -94,6 +156,7 @@ impl Server {
         let addr = listener.local_addr()?;
         let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
         let stats = Arc::new(ServerStats::default());
+        let sessions = Arc::new(SessionRegistry::new(config.stream.clone()));
         let shutting_down = Arc::new(AtomicBool::new(false));
 
         let accept_handle = {
@@ -116,11 +179,12 @@ impl Server {
             let queue = Arc::clone(&queue);
             let stats = Arc::clone(&stats);
             let store = Arc::clone(&store);
+            let sessions = Arc::clone(&sessions);
             let cfg = config.clone();
             worker_handles.push(
                 std::thread::Builder::new()
                     .name(format!("graphserve-worker-{i}"))
-                    .spawn(move || worker_loop(&queue, &stats, &store, &cfg))?,
+                    .spawn(move || worker_loop(&queue, &stats, &store, &sessions, &cfg))?,
             );
         }
 
@@ -128,6 +192,7 @@ impl Server {
             addr,
             queue,
             stats,
+            sessions,
             shutting_down,
             accept_handle: Some(accept_handle),
             worker_handles,
@@ -142,6 +207,11 @@ impl Server {
     /// Shared request counters.
     pub fn stats(&self) -> &ServerStats {
         &self.stats
+    }
+
+    /// The streaming-session registry backing the ingest endpoints.
+    pub fn sessions(&self) -> &Arc<SessionRegistry> {
+        &self.sessions
     }
 
     /// Stops accepting, drains in-flight requests, joins every thread.
@@ -185,16 +255,26 @@ fn accept_loop(
         match queue.try_push(stream) {
             Ok(()) => {
                 stats.admitted.fetch_add(1, Ordering::Relaxed);
+                stats
+                    .queue_high_water
+                    .fetch_max(queue.len() as u64, Ordering::Relaxed);
             }
             Err(PushError::Full(mut stream)) => {
                 stats.shed.fetch_add(1, Ordering::Relaxed);
-                // Shed at the door: cheap fixed response, then drop. A
-                // short write timeout keeps a slow peer from stalling
-                // the accept loop.
+                // Shed at the door: cheap fixed response, then drop. Short
+                // timeouts keep a slow peer from stalling the accept loop.
                 let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+                let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
                 let resp = Response::error(503, "server is at capacity, try again")
                     .with_header("retry-after", retry_after_secs.to_string());
                 let _ = resp.write_to(&mut stream);
+                // Closing with the request still unread would RST the
+                // connection and can discard the 503 before the client
+                // reads it. Signal end-of-response, then drain until the
+                // peer closes (or the short timeout fires).
+                let _ = stream.shutdown(std::net::Shutdown::Write);
+                let mut sink = [0u8; 1024];
+                while matches!(std::io::Read::read(&mut stream, &mut sink), Ok(n) if n > 0) {}
             }
             Err(PushError::Closed(_)) => return,
         }
@@ -205,14 +285,20 @@ fn worker_loop(
     queue: &BoundedQueue<TcpStream>,
     stats: &ServerStats,
     store: &ModelStore,
+    sessions: &SessionRegistry,
     cfg: &ServerConfig,
 ) {
     let mut reader = store.reader();
+    let ctx = RouteContext {
+        store,
+        sessions,
+        stats,
+    };
     while let Some(mut stream) = queue.pop() {
         let _ = stream.set_read_timeout(Some(cfg.read_timeout));
         let _ = stream.set_write_timeout(Some(cfg.write_timeout));
         let response = match Request::read_from(&mut stream, cfg.max_body_bytes) {
-            Ok(request) => routes::handle(&request, &mut reader, store),
+            Ok(request) => routes::handle(&request, &mut reader, &ctx),
             Err(HttpError::BodyTooLarge { declared, limit }) => Response::error(
                 413,
                 &format!("body of {declared} bytes exceeds limit {limit}"),

@@ -24,26 +24,44 @@ use tsgraph::NodeId;
 /// embedding-gap term of [`anomaly_scores`]). Output length is
 /// `path.len() − 1` (empty for trivial paths).
 pub fn transition_scores(layer: &GraphLayer, path: &[NodeId]) -> Vec<f64> {
+    // The modal outgoing weight is a max over the node's contiguous CSR
+    // weight slice; the transition itself is an O(log deg) lookup.
+    transition_scores_with(
+        path,
+        |a, b| layer.graph.weight_between(a, b).copied(),
+        |a| {
+            layer
+                .graph
+                .out_weights(a)
+                .iter()
+                .copied()
+                .fold(1.0f64, f64::max)
+        },
+    )
+}
+
+/// [`transition_scores`] generalised over the weight source: `weight`
+/// returns the observed count of a transition (or `None` if never seen)
+/// and `modal_out` the node's heaviest outgoing count (≥ 1). This is how
+/// the streaming layer scores against a merged base+delta view without
+/// materialising a compacted graph — with an empty delta both closures
+/// reduce to the base graph's and the output is bit-identical to
+/// [`transition_scores`].
+pub fn transition_scores_with(
+    path: &[NodeId],
+    weight: impl Fn(NodeId, NodeId) -> Option<f64>,
+    modal_out: impl Fn(NodeId) -> f64,
+) -> Vec<f64> {
     if path.len() < 2 {
         return Vec::new();
     }
-    // The modal outgoing weight is a max over the node's contiguous CSR
-    // weight slice; the transition itself is an O(log deg) lookup.
-    let modal_out = |a: NodeId| -> f64 {
-        layer
-            .graph
-            .out_weights(a)
-            .iter()
-            .copied()
-            .fold(1.0f64, f64::max)
-    };
     path.windows(2)
         .map(|w| {
             if w[0] == w[1] {
                 return 0.0;
             }
-            match layer.graph.weight_between(w[0], w[1]) {
-                Some(&count) => 1.0 - count / modal_out(w[0]),
+            match weight(w[0], w[1]) {
+                Some(count) => 1.0 - count / modal_out(w[0]),
                 None => 1.0,
             }
         })
@@ -126,11 +144,18 @@ pub fn anomaly_scores(
         .expect("preconditions checked above");
     let trans = transition_scores(layer, &path);
     let gaps = embedding_gap_scores(layer, values).expect("preconditions checked above");
+    Ok(blend_and_smooth(&trans, &gaps, context))
+}
+
+/// The scoring tail shared with the streaming path: blend transition and
+/// gap evidence (equal weights) and smooth with a centred moving average
+/// of width `context`. Transition `i` sits between windows `i` and `i+1`
+/// and is attributed to window `i` (the last window keeps only its gap
+/// evidence).
+pub(crate) fn blend_and_smooth(trans: &[f64], gaps: &[f64], context: usize) -> Vec<f64> {
     if gaps.is_empty() {
-        return Ok(Vec::new());
+        return Vec::new();
     }
-    // Align: transition i sits between windows i and i+1; attribute it to
-    // window i (the last window keeps only its gap evidence).
     let raw: Vec<f64> = (0..gaps.len())
         .map(|i| {
             let t = if i < trans.len() { trans[i] } else { 0.0 };
@@ -139,14 +164,13 @@ pub fn anomaly_scores(
         .collect();
     let context = context.max(1);
     let half = context / 2;
-    let smoothed = (0..raw.len())
+    (0..raw.len())
         .map(|i| {
             let lo = i.saturating_sub(half);
             let hi = (i + half + 1).min(raw.len());
             raw[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
         })
-        .collect();
-    Ok(smoothed)
+        .collect()
 }
 
 /// Indices of the `k` highest-scoring positions, greedily selected with an

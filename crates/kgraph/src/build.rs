@@ -75,6 +75,15 @@ impl GraphLayer {
     /// Returns the node path; errors (with `None`) when the series is
     /// shorter than one window or the graph is empty.
     pub fn assign_path(&self, values: &[f64]) -> Option<Vec<NodeId>> {
+        self.assign_path_from(values, 0)
+    }
+
+    /// Like [`assign_path`](Self::assign_path) but starting at window index
+    /// `first_window` (window `i` covers `values[i·stride .. i·stride+ℓ]`).
+    /// The streaming layer uses this to route only the windows a point
+    /// append created, instead of re-projecting the whole series. Window
+    /// indices past the end yield an empty path (`Some(vec![])`).
+    pub fn assign_path_from(&self, values: &[f64], first_window: usize) -> Option<Vec<NodeId>> {
         if values.len() < self.length || self.graph.node_count() == 0 {
             return None;
         }
@@ -86,7 +95,7 @@ impl GraphLayer {
             psi: emb.psi,
         };
         let mut path = Vec::new();
-        let mut start = 0usize;
+        let mut start = first_window * emb.stride;
         while start + self.length <= values.len() {
             let z = znorm(&values[start..start + self.length]);
             let p = emb.pca.project(&z);

@@ -44,6 +44,7 @@ pub mod interpret;
 pub mod nodes;
 pub mod pipeline;
 pub mod serial;
+pub mod stream;
 
 pub use build::{GraphLayer, LayerEmbedding, NodePattern, PatternGraph};
 pub use config::KGraphConfig;

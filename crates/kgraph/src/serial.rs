@@ -16,6 +16,15 @@
 //! The format is deliberately dependency-free (no serde in the image) and
 //! versioned by magic: readers reject unknown magics with
 //! [`TsError::Parse`] instead of misinterpreting bytes.
+//!
+//! ## Integrity
+//!
+//! `KGM2` files end in a CRC-32 trailer ([`tsgraph::checksum`]) over every
+//! preceding byte, verified *before* parsing so truncation and bit rot are
+//! reported as corruption rather than as a confusing structural error deep
+//! inside the file. Checksum-less `KGM1` files (written before the trailer
+//! existed) still load. Delta state ([`write_delta_state`]) uses the same
+//! trailer under its own magic, `KGD1`.
 
 use crate::build::{GraphLayer, LayerEmbedding, NodePattern};
 use crate::config::KGraphConfig;
@@ -26,10 +35,18 @@ use linalg::matrix::Matrix;
 use linalg::pca::Pca;
 use std::path::Path;
 use tscore::error::TsError;
+use tsgraph::checksum::crc32;
+use tsgraph::delta::DeltaGraph;
 use tsgraph::{GraphBuilder, NodeId};
 
-/// File magic of the current format version.
-const MAGIC: &[u8; 4] = b"KGM1";
+/// File magic of the current (checksummed) format version.
+const MAGIC: &[u8; 4] = b"KGM2";
+
+/// Legacy magic: identical body, no CRC trailer. Still readable.
+const MAGIC_V1: &[u8; 4] = b"KGM1";
+
+/// Magic of the streaming delta-state blob.
+const DELTA_MAGIC: &[u8; 4] = b"KGD1";
 
 // ---------------------------------------------------------------------------
 // Primitive writer / reader
@@ -316,7 +333,8 @@ fn read_layer(c: &mut Cursor) -> Result<GraphLayer, TsError> {
     })
 }
 
-/// Encodes a fitted model into the `KGM1` byte format.
+/// Encodes a fitted model into the `KGM2` byte format (CRC-32 trailer
+/// over everything before it).
 pub fn write_model(model: &KGraphModel) -> Vec<u8> {
     let mut out = Vec::with_capacity(4096);
     out.extend_from_slice(MAGIC);
@@ -334,24 +352,55 @@ pub fn write_model(model: &KGraphModel) -> Vec<u8> {
     for layer in &model.layers {
         put_layer(&mut out, layer);
     }
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
     out
 }
 
-/// Decodes a model from `KGM1` bytes.
+/// Strips and verifies the CRC-32 trailer of a checksummed blob, returning
+/// the payload (magic included). `kind` names the format in errors.
+fn verify_trailer<'a>(bytes: &'a [u8], kind: &str) -> Result<&'a [u8], TsError> {
+    if bytes.len() < 8 {
+        return Err(TsError::Parse(format!(
+            "{kind} file truncated ({} bytes)",
+            bytes.len()
+        )));
+    }
+    let (payload, trailer) = bytes.split_at(bytes.len() - 4);
+    let expected = u32::from_le_bytes(trailer.try_into().expect("4 bytes"));
+    let actual = crc32(payload);
+    if actual != expected {
+        return Err(TsError::Parse(format!(
+            "{kind} checksum mismatch (stored {expected:#010x}, computed {actual:#010x}): \
+             file is corrupt or truncated"
+        )));
+    }
+    Ok(payload)
+}
+
+/// Decodes a model from `KGM2` (checksummed) or legacy `KGM1` bytes.
 ///
 /// # Errors
 ///
-/// [`TsError::Parse`] on a wrong magic, truncation, or any internal
-/// inconsistency (edge/path references outside the node range, PCA shape
-/// mismatches, out-of-range layer index).
+/// [`TsError::Parse`] on a wrong magic, a CRC-32 mismatch (v2), truncation,
+/// or any internal inconsistency (edge/path references outside the node
+/// range, PCA shape mismatches, out-of-range layer index).
 pub fn read_model(bytes: &[u8]) -> Result<KGraphModel, TsError> {
-    let mut c = Cursor::new(bytes);
-    let magic = c.take(4)?;
-    if magic != MAGIC {
+    let magic: &[u8] = bytes
+        .get(..4)
+        .ok_or_else(|| TsError::Parse(format!("model file truncated ({} bytes)", bytes.len())))?;
+    let body = if magic == MAGIC {
+        verify_trailer(bytes, "KGM2 model")?
+    } else if magic == MAGIC_V1 {
+        bytes
+    } else {
         return Err(TsError::Parse(format!(
-            "not a KGM1 model file (magic {magic:?})"
+            "not a KGM1/KGM2 model file (magic {magic:?})"
         )));
-    }
+    };
+    let bytes = body;
+    let mut c = Cursor::new(bytes);
+    c.take(4)?; // magic, validated above
     let config = read_config(&mut c)?;
     let labels = c.usizes()?;
     let consensus = read_matrix(&mut c)?;
@@ -406,6 +455,73 @@ pub fn load_model(path: &Path) -> Result<KGraphModel, TsError> {
     let bytes = std::fs::read(path)
         .map_err(|e| TsError::Parse(format!("reading {}: {e}", path.display())))?;
     read_model(&bytes)
+}
+
+/// Encodes per-layer streaming delta state (`KGD1`): one
+/// [`DeltaGraph`] per graph layer, CRC-32 trailer included. A session can
+/// persist its un-compacted transitions across restarts without touching
+/// the (much larger) base model file.
+pub fn write_delta_state(deltas: &[DeltaGraph<f64>]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    out.extend_from_slice(DELTA_MAGIC);
+    put_u64(&mut out, deltas.len() as u64);
+    for d in deltas {
+        put_u64(&mut out, d.node_count() as u64);
+        put_u64(&mut out, d.edge_count() as u64);
+        for (s, t, &w) in d.iter() {
+            put_u64(&mut out, s.0 as u64);
+            put_u64(&mut out, t.0 as u64);
+            put_f64(&mut out, w);
+        }
+    }
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Decodes `KGD1` delta state. The aggregated edges round-trip exactly;
+/// the raw (pre-aggregation) ingest counter is diagnostic-only and resets
+/// to the number of distinct edges.
+pub fn read_delta_state(bytes: &[u8]) -> Result<Vec<DeltaGraph<f64>>, TsError> {
+    let magic: &[u8] = bytes
+        .get(..4)
+        .ok_or_else(|| TsError::Parse(format!("delta file truncated ({} bytes)", bytes.len())))?;
+    if magic != DELTA_MAGIC {
+        return Err(TsError::Parse(format!(
+            "not a KGD1 delta file (magic {magic:?})"
+        )));
+    }
+    let payload = verify_trailer(bytes, "KGD1 delta")?;
+    let mut c = Cursor::new(payload);
+    c.take(4)?; // magic, validated above
+    let n_layers = c.len(16)?;
+    let mut deltas = Vec::with_capacity(n_layers);
+    for _ in 0..n_layers {
+        let nodes = c.usize()?;
+        let n_edges = c.len(24)?;
+        let mut triples = Vec::with_capacity(n_edges);
+        for _ in 0..n_edges {
+            let s = c.u64()?;
+            let t = c.u64()?;
+            let w = c.f64()?;
+            if s >= nodes as u64 || t >= nodes as u64 {
+                return Err(TsError::Parse(format!(
+                    "delta edge ({s}, {t}) references missing node (delta has {nodes})"
+                )));
+            }
+            triples.push((NodeId(s as u32), NodeId(t as u32), w));
+        }
+        let mut delta = DeltaGraph::new(nodes);
+        delta.ingest(triples, |acc, w| *acc += w);
+        deltas.push(delta);
+    }
+    if c.pos != payload.len() {
+        return Err(TsError::Parse(format!(
+            "{} trailing bytes after delta state",
+            payload.len() - c.pos
+        )));
+    }
+    Ok(deltas)
 }
 
 /// Approximate heap footprint of a fitted model in bytes — the currency of
@@ -531,6 +647,73 @@ mod tests {
         let mut long = bytes.clone();
         long.push(0);
         assert!(matches!(read_model(&long), Err(TsError::Parse(_))));
+    }
+
+    #[test]
+    fn bit_flips_are_caught_by_the_checksum() {
+        let model = fitted();
+        let bytes = write_model(&model);
+        assert_eq!(&bytes[..4], b"KGM2");
+        // Flip one bit at a spread of positions: every flip must be
+        // reported as corruption (checksum mismatch), never panic and
+        // never load.
+        for pos in [4usize, 100, bytes.len() / 2, bytes.len() - 5] {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0x01;
+            match read_model(&bad) {
+                Err(TsError::Parse(msg)) => {
+                    assert!(msg.contains("checksum"), "flip at {pos}: {msg}")
+                }
+                other => panic!("flip at {pos} must fail, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn legacy_v1_files_still_load() {
+        let model = fitted();
+        let bytes = write_model(&model);
+        // A v1 file is exactly the v2 body (no trailer) under the old
+        // magic.
+        let mut v1 = bytes[..bytes.len() - 4].to_vec();
+        v1[..4].copy_from_slice(b"KGM1");
+        let loaded = read_model(&v1).expect("legacy file must load");
+        assert_eq!(loaded.labels, model.labels);
+        // But a corrupt v1 file is still caught by the structural checks.
+        assert!(read_model(&v1[..v1.len() / 2]).is_err());
+    }
+
+    #[test]
+    fn delta_state_round_trips() {
+        use tsgraph::delta::DeltaGraph;
+        use tsgraph::NodeId;
+        let mut a: DeltaGraph<f64> = DeltaGraph::new(5);
+        a.ingest(
+            [
+                (NodeId(0), NodeId(1), 1.0),
+                (NodeId(0), NodeId(1), 1.0),
+                (NodeId(4), NodeId(2), 1.0),
+            ],
+            |acc, w| *acc += w,
+        );
+        let b: DeltaGraph<f64> = DeltaGraph::new(3);
+        let bytes = write_delta_state(&[a.clone(), b]);
+        let loaded = read_delta_state(&bytes).expect("round trip");
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded[0].node_count(), 5);
+        assert_eq!(loaded[0].edge_count(), 2);
+        assert_eq!(loaded[0].weight_between(NodeId(0), NodeId(1)), Some(&2.0));
+        assert_eq!(loaded[1].node_count(), 3);
+        assert!(loaded[1].is_empty());
+
+        // Corruption and truncation are parse errors.
+        let mut bad = bytes.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x08;
+        assert!(matches!(read_delta_state(&bad), Err(TsError::Parse(_))));
+        for cut in [0, 3, bytes.len() - 1] {
+            assert!(read_delta_state(&bytes[..cut]).is_err(), "cut {cut}");
+        }
     }
 
     #[test]

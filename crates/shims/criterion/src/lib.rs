@@ -5,8 +5,76 @@
 //! count targeting a few milliseconds per sample — and prints
 //! `name  time: [min mean max]` lines, but does no statistical analysis,
 //! HTML reports or comparison against saved baselines.
+//!
+//! Results are additionally collected in-process; [`write_baseline`]
+//! (called by `criterion_main!` after every group has run) persists them
+//! as `BENCH_<name>.json` in the working directory so the repo can track
+//! a perf trajectory. Set `BENCH_BASELINE_PATH` to redirect the file, or
+//! `BENCH_BASELINE_PATH=-` to skip writing.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// One finished benchmark: label plus nanosecond stats.
+struct BenchRecord {
+    label: String,
+    min_ns: u128,
+    mean_ns: u128,
+    max_ns: u128,
+    samples: usize,
+}
+
+static RESULTS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+/// The baseline file name for this process: `bench_graph-1a2b3c` →
+/// `BENCH_graph.json`.
+fn default_baseline_path() -> std::path::PathBuf {
+    let stem = std::env::args()
+        .next()
+        .map(std::path::PathBuf::from)
+        .and_then(|p| p.file_stem().map(|s| s.to_string_lossy().into_owned()))
+        .unwrap_or_else(|| "bench".to_string());
+    // Strip cargo's trailing `-<hash>` and a leading `bench_`.
+    let stem = match stem.rsplit_once('-') {
+        Some((head, tail)) if tail.chars().all(|c| c.is_ascii_hexdigit()) => head.to_string(),
+        _ => stem,
+    };
+    let name = stem.strip_prefix("bench_").unwrap_or(&stem);
+    std::path::PathBuf::from(format!("BENCH_{name}.json"))
+}
+
+/// Writes every recorded result as a JSON baseline file. A no-op when no
+/// benchmark ran or `BENCH_BASELINE_PATH=-`.
+pub fn write_baseline() {
+    let results = RESULTS.lock().unwrap_or_else(|e| e.into_inner());
+    if results.is_empty() {
+        return;
+    }
+    let path = match std::env::var("BENCH_BASELINE_PATH") {
+        Ok(p) if p == "-" => return,
+        Ok(p) => std::path::PathBuf::from(p),
+        Err(_) => default_baseline_path(),
+    };
+    let mut out = String::from("{\n  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"min_ns\": {}, \"mean_ns\": {}, \"max_ns\": {}, \"samples\": {}}}",
+            r.label.replace('"', "'"),
+            r.min_ns,
+            r.mean_ns,
+            r.max_ns,
+            r.samples
+        ));
+    }
+    out.push_str("\n  ]\n}\n");
+    match std::fs::write(&path, out) {
+        Ok(()) => eprintln!("baseline written to {}", path.display()),
+        Err(e) => eprintln!("could not write baseline {}: {e}", path.display()),
+    }
+}
 
 /// Opaque identity function preventing the optimiser from deleting the
 /// benchmarked computation.
@@ -74,6 +142,16 @@ impl Bencher {
             format_duration(mean),
             format_duration(*max)
         );
+        RESULTS
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(BenchRecord {
+                label: label.to_string(),
+                min_ns: min.as_nanos(),
+                mean_ns: mean.as_nanos(),
+                max_ns: max.as_nanos(),
+                samples: self.samples.len(),
+            });
     }
 }
 
@@ -205,12 +283,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Generates `main()` running the given groups (requires `harness = false`).
+/// Generates `main()` running the given groups (requires `harness = false`)
+/// and persisting the collected results as a `BENCH_*.json` baseline.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::write_baseline();
         }
     };
 }

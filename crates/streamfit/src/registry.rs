@@ -1,0 +1,84 @@
+//! Named streaming sessions, one per served model.
+
+use crate::session::{StreamConfig, StreamSession};
+use kgraph::pipeline::KGraphModel;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Sessions keyed by model name. Writes (ingest, refresh) serialise on the
+/// per-session mutex; model *readers* never touch this registry at all —
+/// they keep reading whatever `Arc` snapshot they hold.
+///
+/// A session is bound to the model `Arc` it was opened over. When the
+/// served model changes underneath it (a re-fit or reload replaced the
+/// registry entry), the stale session is discarded and a fresh one opened
+/// — buffered deltas refer to node ids of the old graph and must not leak
+/// into the new one. Compaction does *not* trip this check: the session
+/// itself switched to the compacted `Arc` before the caller published it.
+pub struct SessionRegistry {
+    cfg: StreamConfig,
+    sessions: Mutex<HashMap<String, Arc<Mutex<StreamSession>>>>,
+}
+
+impl SessionRegistry {
+    /// Registry opening sessions with `cfg`.
+    pub fn new(cfg: StreamConfig) -> Self {
+        SessionRegistry {
+            cfg,
+            sessions: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The session for `name` over `model`, opened (or re-opened, if the
+    /// served model changed) on demand.
+    pub fn session_for(&self, name: &str, model: &Arc<KGraphModel>) -> Arc<Mutex<StreamSession>> {
+        let mut sessions = self.sessions.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(existing) = sessions.get(name) {
+            let current = {
+                let guard = existing.lock().unwrap_or_else(|e| e.into_inner());
+                Arc::ptr_eq(guard.model(), model)
+            };
+            if current {
+                return Arc::clone(existing);
+            }
+        }
+        let fresh = Arc::new(Mutex::new(StreamSession::new(
+            Arc::clone(model),
+            self.cfg.clone(),
+        )));
+        sessions.insert(name.to_string(), Arc::clone(&fresh));
+        fresh
+    }
+
+    /// The session for `name` if one is open, without creating or
+    /// validating it.
+    pub fn get(&self, name: &str) -> Option<Arc<Mutex<StreamSession>>> {
+        self.sessions
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(name)
+            .cloned()
+    }
+
+    /// Drops the session of `name` (e.g. when its model is deleted).
+    pub fn remove(&self, name: &str) -> bool {
+        self.sessions
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(name)
+            .is_some()
+    }
+
+    /// Number of open sessions.
+    pub fn len(&self) -> usize {
+        self.sessions
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .len()
+    }
+
+    /// Whether no sessions are open.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}

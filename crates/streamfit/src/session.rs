@@ -1,0 +1,343 @@
+//! The streaming session: open series, per-layer deltas, cadenced refresh
+//! and compaction.
+
+use kgraph::pipeline::KGraphModel;
+use kgraph::stream::{anomaly_scores_delta, extend_path, n_windows};
+use kgraph::GraphLayer;
+use std::sync::Arc;
+use tscore::error::TsError;
+use tsgraph::delta::{DeltaGraph, DeltaView};
+use tsgraph::NodeId;
+
+/// Knobs of a [`StreamSession`]. All cadences count *appended points*
+/// (refresh) or *refreshes* (compaction), so behaviour is deterministic
+/// and testable — no wall-clock timers.
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// Refresh (delta ingest + rescoring) after this many appended points.
+    /// 0 refreshes on every append.
+    pub refresh_every: usize,
+    /// Compact the deltas into a fresh base CSR every this many refreshes.
+    /// 0 disables compaction.
+    pub compact_every: usize,
+    /// Smoothing context passed to the anomaly scorer.
+    pub context: usize,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            refresh_every: 64,
+            compact_every: 8,
+            context: 3,
+        }
+    }
+}
+
+/// One live series the session is tracking.
+struct OpenSeries {
+    /// All points observed so far.
+    values: Vec<f64>,
+    /// Node path per model layer, grown window-by-window on append.
+    paths: Vec<Vec<NodeId>>,
+    /// Latest merged-view anomaly scores (best layer), set at refresh.
+    scores: Option<Vec<f64>>,
+}
+
+/// What one append did, beyond buffering.
+#[derive(Debug, Default)]
+pub struct AppendOutcome {
+    /// New complete windows this append created on the best layer.
+    pub new_windows: usize,
+    /// Whether the refresh cadence fired (deltas ingested, scores
+    /// recomputed).
+    pub refreshed: bool,
+    /// A freshly compacted model, when the compaction cadence fired. The
+    /// caller owns publication (e.g. `ModelStore::insert`) — the session
+    /// has already switched its own base to it.
+    pub compacted: Option<Arc<KGraphModel>>,
+}
+
+/// Summary of a session for the `stream-status` endpoint.
+#[derive(Debug, Clone)]
+pub struct StreamStatus {
+    /// Points appended over the session's lifetime.
+    pub points_total: u64,
+    /// Points appended since the last refresh.
+    pub points_pending: u64,
+    /// Refreshes performed.
+    pub refreshes: u64,
+    /// Compactions performed.
+    pub compactions: u64,
+    /// Transition triples buffered but not yet ingested into the deltas.
+    pub pending_triples: u64,
+    /// Distinct delta edges across all layers (un-compacted state).
+    pub delta_edges: u64,
+    /// Per-series state, in series-index order.
+    pub series: Vec<SeriesStatus>,
+}
+
+/// Per-series slice of [`StreamStatus`].
+#[derive(Debug, Clone)]
+pub struct SeriesStatus {
+    /// Session-local series index.
+    pub index: usize,
+    /// Points observed so far.
+    pub points: usize,
+    /// Complete windows on the best layer.
+    pub windows: usize,
+    /// Mean of the latest refreshed scores (None before first refresh or
+    /// while the series is shorter than one window).
+    pub mean_score: Option<f64>,
+    /// Max of the latest refreshed scores.
+    pub max_score: Option<f64>,
+}
+
+/// A continuously-updatable view over one fitted model: appends buffer
+/// transition triples per layer, the refresh cadence folds them into
+/// [`DeltaGraph`]s and rescores every open series against the merged
+/// base+delta view, and the compaction cadence merges the deltas into a
+/// fresh base CSR published as a new `Arc` snapshot.
+///
+/// The session itself is single-writer (wrap it in a `Mutex`; see
+/// [`SessionRegistry`](crate::SessionRegistry)) — concurrent *readers* of
+/// the model are untouched because the base is never mutated, only
+/// replaced.
+pub struct StreamSession {
+    model: Arc<KGraphModel>,
+    cfg: StreamConfig,
+    /// One delta per model layer, node-aligned with that layer's graph.
+    deltas: Vec<DeltaGraph<f64>>,
+    /// Triples buffered per layer since the last refresh.
+    pending: Vec<Vec<(NodeId, NodeId, f64)>>,
+    series: Vec<OpenSeries>,
+    points_since_refresh: usize,
+    points_total: u64,
+    refreshes: u64,
+    compactions: u64,
+}
+
+fn sum(acc: &mut f64, w: f64) {
+    *acc += w;
+}
+
+impl StreamSession {
+    /// Opens a session over `model`.
+    pub fn new(model: Arc<KGraphModel>, cfg: StreamConfig) -> Self {
+        let deltas = model
+            .layers
+            .iter()
+            .map(|l| DeltaGraph::new(l.graph.node_count()))
+            .collect();
+        let pending = model.layers.iter().map(|_| Vec::new()).collect();
+        StreamSession {
+            model,
+            cfg,
+            deltas,
+            pending,
+            series: Vec::new(),
+            points_since_refresh: 0,
+            points_total: 0,
+            refreshes: 0,
+            compactions: 0,
+        }
+    }
+
+    /// The session's current base model (replaced at compaction).
+    pub fn model(&self) -> &Arc<KGraphModel> {
+        &self.model
+    }
+
+    /// Latest refreshed scores of series `index` (merged base+delta view).
+    pub fn scores(&self, index: usize) -> Option<&[f64]> {
+        self.series.get(index)?.scores.as_deref()
+    }
+
+    /// Number of open series.
+    pub fn open_series(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Appends `points` to series `index`. `index == open_series()` opens
+    /// a new series; larger indices error. New complete windows are routed
+    /// through every layer's stored embedding and their transitions
+    /// buffered; the refresh/compaction cadences fire inside this call
+    /// when due.
+    pub fn append(&mut self, index: usize, points: &[f64]) -> Result<AppendOutcome, TsError> {
+        if index > self.series.len() {
+            return Err(TsError::InvalidParameter(format!(
+                "series index {index} out of range (session has {}; the next new index is {})",
+                self.series.len(),
+                self.series.len()
+            )));
+        }
+        if index == self.series.len() {
+            let n_layers = self.model.layers.len();
+            self.series.push(OpenSeries {
+                values: Vec::new(),
+                paths: vec![Vec::new(); n_layers],
+                scores: None,
+            });
+        }
+        let series = &mut self.series[index];
+        series.values.extend_from_slice(points);
+
+        let mut outcome = AppendOutcome::default();
+        for (l, layer) in self.model.layers.iter().enumerate() {
+            let old_windows = series.paths[l].len();
+            let delta = extend_path(
+                layer,
+                &series.values,
+                old_windows,
+                series.paths[l].last().copied(),
+            )?;
+            if l == self.model.best_layer {
+                outcome.new_windows = delta.new_nodes.len();
+            }
+            series.paths[l].extend_from_slice(&delta.new_nodes);
+            self.pending[l].extend_from_slice(&delta.triples);
+        }
+        self.points_total += points.len() as u64;
+        self.points_since_refresh += points.len();
+
+        if self.points_since_refresh >= self.cfg.refresh_every.max(1) || self.cfg.refresh_every == 0
+        {
+            outcome.refreshed = true;
+            outcome.compacted = self.refresh();
+        }
+        Ok(outcome)
+    }
+
+    /// Forces a refresh now: drains the pending triples into the deltas,
+    /// rescores every open series against the merged view, and compacts
+    /// when the cadence is due. Returns the new model on compaction.
+    pub fn refresh(&mut self) -> Option<Arc<KGraphModel>> {
+        for (l, pending) in self.pending.iter_mut().enumerate() {
+            if !pending.is_empty() {
+                self.deltas[l].ingest(pending.drain(..), sum);
+            }
+        }
+        self.points_since_refresh = 0;
+        self.rescore_all();
+        self.refreshes += 1;
+        if self.cfg.compact_every > 0
+            && self.refreshes.is_multiple_of(self.cfg.compact_every as u64)
+            && self.deltas.iter().any(|d| !d.is_empty())
+        {
+            return Some(self.compact());
+        }
+        None
+    }
+
+    /// Rescores every open series against the best layer's merged
+    /// base+delta view, in parallel over a bounded worker pool (chunked
+    /// disjoint slots — the same pattern as `KGraph::fit`).
+    fn rescore_all(&mut self) {
+        let n = self.series.len();
+        if n == 0 {
+            return;
+        }
+        let layer = &self.model.layers[self.model.best_layer];
+        let delta = &self.deltas[self.model.best_layer];
+        let context = self.cfg.context;
+        let series = &mut self.series;
+        let workers = std::thread::available_parallelism()
+            .map_or(1, |p| p.get())
+            .min(n);
+        let chunk = n.div_ceil(workers);
+        if workers < 2 {
+            for s in series.iter_mut() {
+                s.scores = anomaly_scores_delta(layer, delta, &s.values, context).ok();
+            }
+            return;
+        }
+        crossbeam::thread::scope(|scope| {
+            for series_chunk in series.chunks_mut(chunk) {
+                scope.spawn(move |_| {
+                    for s in series_chunk.iter_mut() {
+                        s.scores = anomaly_scores_delta(layer, delta, &s.values, context).ok();
+                    }
+                });
+            }
+        })
+        .expect("rescore worker panicked");
+    }
+
+    /// Merges every layer's delta into a fresh base CSR, switches the
+    /// session to the new model and returns it for publication. Readers of
+    /// the old `Arc` are untouched.
+    fn compact(&mut self) -> Arc<KGraphModel> {
+        let old = &self.model;
+        let layers: Vec<GraphLayer> = old
+            .layers
+            .iter()
+            .zip(&self.deltas)
+            .map(|(layer, delta)| {
+                if delta.is_empty() {
+                    return layer.clone();
+                }
+                let graph = DeltaView::new(&layer.graph, delta).compact(sum);
+                GraphLayer {
+                    length: layer.length,
+                    graph,
+                    paths: layer.paths.clone(),
+                    labels: layer.labels.clone(),
+                    embedding: layer.embedding.clone(),
+                }
+            })
+            .collect();
+        let next = Arc::new(KGraphModel {
+            config: old.config.clone(),
+            layers,
+            consensus: old.consensus.clone(),
+            labels: old.labels.clone(),
+            scores: old.scores.clone(),
+            best_layer: old.best_layer,
+        });
+        self.deltas = next
+            .layers
+            .iter()
+            .map(|l| DeltaGraph::new(l.graph.node_count()))
+            .collect();
+        self.model = Arc::clone(&next);
+        self.compactions += 1;
+        next
+    }
+
+    /// Serialises the un-compacted per-layer delta state (`KGD1`).
+    pub fn delta_state(&self) -> Vec<u8> {
+        kgraph::serial::write_delta_state(&self.deltas)
+    }
+
+    /// Current session summary.
+    pub fn status(&self) -> StreamStatus {
+        let best = &self.model.layers[self.model.best_layer];
+        StreamStatus {
+            points_total: self.points_total,
+            points_pending: self.points_since_refresh as u64,
+            refreshes: self.refreshes,
+            compactions: self.compactions,
+            pending_triples: self.pending.iter().map(|p| p.len() as u64).sum(),
+            delta_edges: self.deltas.iter().map(|d| d.edge_count() as u64).sum(),
+            series: self
+                .series
+                .iter()
+                .enumerate()
+                .map(|(i, s)| SeriesStatus {
+                    index: i,
+                    points: s.values.len(),
+                    windows: n_windows(s.values.len(), best.length, best.embedding.stride),
+                    mean_score: s
+                        .scores
+                        .as_ref()
+                        .filter(|v| !v.is_empty())
+                        .map(|v| v.iter().sum::<f64>() / v.len() as f64),
+                    max_score: s
+                        .scores
+                        .as_ref()
+                        .and_then(|v| v.iter().copied().reduce(f64::max)),
+                })
+                .collect(),
+        }
+    }
+}

@@ -26,6 +26,14 @@ use crate::digraph::NodeId;
 /// thread fan-out only pays for itself on bulk loads.
 const PARALLEL_SORT_THRESHOLD: usize = 1 << 15;
 
+/// Packs `(src, dst)` into the sort key used throughout the builder,
+/// spill and delta layers: `src << 32 | dst`, so key order is exactly
+/// `(src, dst)` lexicographic order.
+#[inline]
+pub(crate) fn pack_key(src: NodeId, dst: NodeId) -> u64 {
+    ((src.0 as u64) << 32) | dst.0 as u64
+}
+
 /// Accumulates `(src, dst, weight)` triples and builds a [`CsrGraph`].
 ///
 /// ```
@@ -48,7 +56,7 @@ pub struct GraphBuilder<E> {
 
 #[inline]
 fn key(src: NodeId, dst: NodeId) -> u64 {
-    ((src.0 as u64) << 32) | dst.0 as u64
+    pack_key(src, dst)
 }
 
 impl<E> GraphBuilder<E> {
@@ -108,81 +116,99 @@ impl<E: Send> GraphBuilder<E> {
         }
 
         parallel_sort_by_key(&mut triples);
+        assemble_csr(nodes, triples.into_iter(), merge)
+    }
+}
 
-        // Run-length aggregation + CSR assembly in one pass.
-        let mut out_offsets = vec![0u32; n + 1];
-        let mut out_targets: Vec<NodeId> = Vec::new();
-        let mut edge_weights: Vec<E> = Vec::new();
-        let mut edge_sources: Vec<NodeId> = Vec::new();
-        let mut iter = triples.into_iter();
-        if let Some((first_key, first_w)) = iter.next() {
-            let mut cur_key = first_key;
-            let mut cur_w = first_w;
-            for (k, w) in iter {
-                if k == cur_key {
-                    merge(&mut cur_w, w);
-                } else {
-                    push_edge(
-                        cur_key,
-                        cur_w,
-                        &mut out_offsets,
-                        &mut out_targets,
-                        &mut edge_weights,
-                        &mut edge_sources,
-                    );
-                    cur_key = k;
-                    cur_w = w;
-                }
+/// Run-length aggregation + CSR assembly in one pass over a *key-sorted*
+/// `(key, weight)` stream. Duplicate keys must be adjacent (guaranteed by
+/// sorting) and are combined with `merge`. Shared by [`GraphBuilder`],
+/// the disk-backed [`SpillBuilder`](crate::spill::SpillBuilder) and delta
+/// compaction ([`crate::delta`]), so all three construction paths produce
+/// bit-identical CSR layouts from the same logical edge set.
+///
+/// Panics if any endpoint is out of `0..nodes.len()`.
+pub(crate) fn assemble_csr<N, E>(
+    nodes: Vec<N>,
+    sorted: impl Iterator<Item = (u64, E)>,
+    merge: impl Fn(&mut E, E),
+) -> CsrGraph<N, E> {
+    let n = nodes.len();
+    let mut out_offsets = vec![0u32; n + 1];
+    let mut out_targets: Vec<NodeId> = Vec::new();
+    let mut edge_weights: Vec<E> = Vec::new();
+    let mut edge_sources: Vec<NodeId> = Vec::new();
+    let mut iter = sorted;
+    if let Some((first_key, first_w)) = iter.next() {
+        let mut cur_key = first_key;
+        let mut cur_w = first_w;
+        for (k, w) in iter {
+            debug_assert!(k >= cur_key, "assemble_csr input must be key-sorted");
+            if k == cur_key {
+                merge(&mut cur_w, w);
+            } else {
+                push_edge(
+                    cur_key,
+                    cur_w,
+                    n,
+                    &mut out_offsets,
+                    &mut out_targets,
+                    &mut edge_weights,
+                    &mut edge_sources,
+                );
+                cur_key = k;
+                cur_w = w;
             }
-            push_edge(
-                cur_key,
-                cur_w,
-                &mut out_offsets,
-                &mut out_targets,
-                &mut edge_weights,
-                &mut edge_sources,
-            );
         }
-        // out_offsets currently holds per-node counts (shifted by one);
-        // prefix-sum into offsets.
-        let mut acc = 0u32;
-        for o in out_offsets.iter_mut() {
-            acc += *o;
-            *o = acc;
-        }
-        // Counts were accumulated at index u+1, so after the prefix sum
-        // out_offsets[u]..out_offsets[u+1] is exactly u's edge range.
+        push_edge(
+            cur_key,
+            cur_w,
+            n,
+            &mut out_offsets,
+            &mut out_targets,
+            &mut edge_weights,
+            &mut edge_sources,
+        );
+    }
+    // out_offsets currently holds per-node counts (shifted by one);
+    // prefix-sum into offsets.
+    let mut acc = 0u32;
+    for o in out_offsets.iter_mut() {
+        acc += *o;
+        *o = acc;
+    }
+    // Counts were accumulated at index u+1, so after the prefix sum
+    // out_offsets[u]..out_offsets[u+1] is exactly u's edge range.
 
-        // In-adjacency: counting sort over targets keeps each in-slice
-        // sorted by source for free (edge ids are (src, dst)-sorted).
-        let m = out_targets.len();
-        let mut in_offsets = vec![0u32; n + 1];
-        for t in &out_targets {
-            in_offsets[t.index() + 1] += 1;
-        }
-        for i in 1..=n {
-            in_offsets[i] += in_offsets[i - 1];
-        }
-        let mut cursor: Vec<u32> = in_offsets[..n].to_vec();
-        let mut in_sources = vec![NodeId(0); m];
-        let mut in_edge_ids = vec![crate::EdgeId(0); m];
-        for (e, &t) in out_targets.iter().enumerate() {
-            let slot = cursor[t.index()] as usize;
-            cursor[t.index()] += 1;
-            in_sources[slot] = edge_sources[e];
-            in_edge_ids[slot] = crate::EdgeId(e as u32);
-        }
+    // In-adjacency: counting sort over targets keeps each in-slice
+    // sorted by source for free (edge ids are (src, dst)-sorted).
+    let m = out_targets.len();
+    let mut in_offsets = vec![0u32; n + 1];
+    for t in &out_targets {
+        in_offsets[t.index() + 1] += 1;
+    }
+    for i in 1..=n {
+        in_offsets[i] += in_offsets[i - 1];
+    }
+    let mut cursor: Vec<u32> = in_offsets[..n].to_vec();
+    let mut in_sources = vec![NodeId(0); m];
+    let mut in_edge_ids = vec![crate::EdgeId(0); m];
+    for (e, &t) in out_targets.iter().enumerate() {
+        let slot = cursor[t.index()] as usize;
+        cursor[t.index()] += 1;
+        in_sources[slot] = edge_sources[e];
+        in_edge_ids[slot] = crate::EdgeId(e as u32);
+    }
 
-        CsrGraph {
-            nodes,
-            out_offsets,
-            out_targets,
-            edge_weights,
-            edge_sources,
-            in_offsets,
-            in_sources,
-            in_edge_ids,
-        }
+    CsrGraph {
+        nodes,
+        out_offsets,
+        out_targets,
+        edge_weights,
+        edge_sources,
+        in_offsets,
+        in_sources,
+        in_edge_ids,
     }
 }
 
@@ -190,6 +216,7 @@ impl<E: Send> GraphBuilder<E> {
 fn push_edge<E>(
     key: u64,
     w: E,
+    n: usize,
     out_offsets: &mut [u32],
     out_targets: &mut Vec<NodeId>,
     edge_weights: &mut Vec<E>,
@@ -197,6 +224,10 @@ fn push_edge<E>(
 ) {
     let src = (key >> 32) as u32;
     let dst = (key & 0xffff_ffff) as u32;
+    assert!(
+        (src as usize) < n && (dst as usize) < n,
+        "edge endpoint out of range: ({src} or {dst}) >= {n}"
+    );
     // Count at src+1 so the later in-place prefix sum lands offsets[u]
     // at the start of u's range.
     out_offsets[src as usize + 1] += 1;

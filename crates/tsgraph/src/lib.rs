@@ -26,6 +26,18 @@
 //!   supplied merge) before querying; nothing on the hot path should scan
 //!   `DiGraph` adjacency lists.
 //!
+//! ## Streaming construction and maintenance
+//!
+//! * [`spill`] — [`spill::SpillBuilder`], the bounded-memory construction
+//!   path: triples accumulate in fixed-size sorted runs that spill to disk
+//!   (CRC-checked `TSR1` files) and k-way merge into the same CSR assembly
+//!   pass the in-RAM builder uses, bit-identical for exact weights.
+//! * [`delta`] — [`delta::DeltaGraph`] buffers transitions observed after
+//!   a base CSR froze; [`delta::DeltaView`] serves merged base+delta reads
+//!   (2-way merge per node, lock-free) and compacts into a fresh CSR.
+//! * [`checksum`] — dependency-free CRC-32 (IEEE) used by spilled runs and
+//!   the persisted model format.
+//!
 //! Supporting modules:
 //!
 //! * [`algo`] — CSR-native breadth-first traversal, weakly connected
@@ -41,10 +53,15 @@
 
 pub mod algo;
 pub mod builder;
+pub mod checksum;
 pub mod csr;
+pub mod delta;
 pub mod digraph;
 pub mod layout;
+pub mod spill;
 
 pub use builder::GraphBuilder;
 pub use csr::CsrGraph;
+pub use delta::{DeltaGraph, DeltaView};
 pub use digraph::{DiGraph, EdgeId, NodeId};
+pub use spill::SpillBuilder;

@@ -1,0 +1,482 @@
+//! Bounded-memory graph construction: sorted triple runs spilled to disk,
+//! k-way merged into the final CSR.
+//!
+//! [`GraphBuilder`](crate::builder::GraphBuilder) holds every raw triple in
+//! RAM until `build` — fine for datasets that fit, a hard wall for
+//! billion-transition streams. [`SpillBuilder`] keeps at most
+//! `triple_budget` triples in memory: when the buffer fills it is sorted,
+//! run-length aggregated and written to disk as one *run*; `build` streams
+//! a k-way merge over all runs (plus the final in-RAM buffer) into the same
+//! [`assemble_csr`] assembly pass the in-RAM builder uses. Because
+//! aggregation is commutative and associative, and the merged stream is
+//! globally key-sorted, the resulting CSR is **bit-identical** to an
+//! all-in-RAM build of the same triples whenever the weight aggregation is
+//! exact (e.g. integer-valued `f64` transition counts, the only weights the
+//! k-Graph pipeline emits).
+//!
+//! ## Run file format (`TSR1`)
+//!
+//! Little-endian throughout:
+//!
+//! ```text
+//! "TSR1"                magic, 4 bytes
+//! u64   record count
+//! [u64 key, f64 weight] × count     (16 bytes per record, key-sorted)
+//! u32   CRC-32 over everything above
+//! ```
+//!
+//! The CRC trailer ([`crate::checksum`]) catches truncation and bit rot at
+//! merge time instead of silently merging a corrupt run into the graph.
+
+use crate::builder::{assemble_csr, pack_key};
+use crate::checksum::Crc32;
+use crate::csr::CsrGraph;
+use crate::digraph::NodeId;
+use std::collections::BinaryHeap;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Magic header of a spilled run file.
+const RUN_MAGIC: &[u8; 4] = b"TSR1";
+
+/// Distinguishes spill directories of concurrent builders in one process.
+static SPILL_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Accumulates `(src, dst, weight)` triples under a fixed in-memory budget,
+/// spilling sorted, pre-aggregated runs to disk.
+///
+/// ```
+/// use tsgraph::spill::SpillBuilder;
+/// use tsgraph::NodeId;
+///
+/// let mut b = SpillBuilder::new(4).unwrap(); // absurdly small budget
+/// for _ in 0..10 {
+///     b.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+/// }
+/// assert!(b.runs_spilled() >= 2);
+/// let g = b.build(vec![(), ()], |acc, w| *acc += w).unwrap();
+/// assert_eq!(g.weight_between(NodeId(0), NodeId(1)), Some(&10.0));
+/// ```
+pub struct SpillBuilder {
+    /// In-memory buffer, spilled when it reaches `triple_budget`.
+    buf: Vec<(u64, f64)>,
+    /// Maximum raw triples held in RAM at once.
+    triple_budget: usize,
+    /// Directory holding this builder's run files; removed on drop.
+    dir: PathBuf,
+    /// Paths of spilled runs, in spill order.
+    runs: Vec<PathBuf>,
+    /// Total raw triples recorded (pre-aggregation).
+    total: u64,
+}
+
+impl SpillBuilder {
+    /// Builder spilling to the system temp directory once more than
+    /// `triple_budget` raw triples are buffered. The budget must be ≥ 1.
+    pub fn new(triple_budget: usize) -> io::Result<Self> {
+        Self::with_dir(triple_budget, std::env::temp_dir())
+    }
+
+    /// Builder spilling under `parent` (a unique subdirectory is created).
+    pub fn with_dir(triple_budget: usize, parent: impl AsRef<Path>) -> io::Result<Self> {
+        assert!(triple_budget >= 1, "triple budget must be at least 1");
+        let dir = parent.as_ref().join(format!(
+            "tsgraph-spill-{}-{}",
+            std::process::id(),
+            SPILL_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir)?;
+        Ok(SpillBuilder {
+            buf: Vec::with_capacity(triple_budget.min(1 << 20)),
+            triple_budget,
+            dir,
+            runs: Vec::new(),
+            total: 0,
+        })
+    }
+
+    /// Records one `src → dst` observation, spilling a run if the buffer
+    /// is full. Duplicates are aggregated (`+` within runs, the caller's
+    /// merge at build time).
+    #[inline]
+    pub fn add_edge(&mut self, src: NodeId, dst: NodeId, weight: f64) -> io::Result<()> {
+        if self.buf.len() >= self.triple_budget {
+            self.spill_run()?;
+        }
+        self.buf.push((pack_key(src, dst), weight));
+        self.total += 1;
+        Ok(())
+    }
+
+    /// Total raw triples recorded so far (before any aggregation).
+    pub fn len(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether no triples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Number of runs written to disk so far.
+    pub fn runs_spilled(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Sorts + aggregates the buffer and writes it out as one run.
+    fn spill_run(&mut self) -> io::Result<()> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        sort_and_aggregate(&mut self.buf);
+        let path = self.dir.join(format!("run-{:05}.tsr", self.runs.len()));
+        write_run(&path, &self.buf)?;
+        self.runs.push(path);
+        self.buf.clear();
+        Ok(())
+    }
+
+    /// Builds the CSR graph over `nodes.len()` vertices by k-way merging
+    /// all spilled runs with the residual in-RAM buffer, aggregating
+    /// duplicate `(src, dst)` pairs with `merge` (commutative +
+    /// associative, like [`GraphBuilder::build`]). Run files are deleted
+    /// afterwards.
+    ///
+    /// Errors on I/O failure or a corrupt (checksum-mismatched) run;
+    /// panics if an endpoint is out of `0..nodes.len()`, matching the
+    /// in-RAM builder.
+    ///
+    /// [`GraphBuilder::build`]: crate::builder::GraphBuilder::build
+    pub fn build<N>(
+        mut self,
+        nodes: Vec<N>,
+        merge: impl Fn(&mut f64, f64),
+    ) -> io::Result<CsrGraph<N, f64>> {
+        sort_and_aggregate(&mut self.buf);
+        let tail = std::mem::take(&mut self.buf);
+        let mut readers = Vec::with_capacity(self.runs.len());
+        for path in &self.runs {
+            readers.push(RunReader::open(path)?);
+        }
+        let mut stream = MergeStream::new(readers, tail, nodes.len())?;
+        let graph = assemble_csr(nodes, &mut stream, merge);
+        if let Some(err) = stream.error.take() {
+            return Err(err);
+        }
+        Ok(graph)
+    }
+}
+
+impl Drop for SpillBuilder {
+    fn drop(&mut self) {
+        // Best-effort cleanup; leaking a temp dir is not worth a panic.
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+/// Sorts by key and folds duplicate keys with `+` in place.
+fn sort_and_aggregate(buf: &mut Vec<(u64, f64)>) {
+    buf.sort_unstable_by_key(|(k, _)| *k);
+    let mut write = 0usize;
+    for read in 0..buf.len() {
+        if write > 0 && buf[write - 1].0 == buf[read].0 {
+            buf[write - 1].1 += buf[read].1;
+        } else {
+            buf.swap(write, read);
+            write += 1;
+        }
+    }
+    buf.truncate(write);
+}
+
+/// Writes one key-sorted run with a CRC-32 trailer.
+fn write_run(path: &Path, records: &[(u64, f64)]) -> io::Result<()> {
+    let file = File::create(path)?;
+    let mut w = BufWriter::new(file);
+    let mut crc = Crc32::new();
+    let put = |w: &mut BufWriter<File>, crc: &mut Crc32, bytes: &[u8]| -> io::Result<()> {
+        crc.update(bytes);
+        w.write_all(bytes)
+    };
+    put(&mut w, &mut crc, RUN_MAGIC)?;
+    put(&mut w, &mut crc, &(records.len() as u64).to_le_bytes())?;
+    for &(key, weight) in records {
+        put(&mut w, &mut crc, &key.to_le_bytes())?;
+        put(&mut w, &mut crc, &weight.to_bits().to_le_bytes())?;
+    }
+    w.write_all(&crc.finish().to_le_bytes())?;
+    w.flush()
+}
+
+/// Streaming reader over one run file, verifying the CRC trailer after the
+/// last record.
+struct RunReader {
+    reader: BufReader<File>,
+    remaining: u64,
+    crc: Crc32,
+    /// Last key seen; runs are strictly increasing, so a non-increasing
+    /// key is corruption caught before the trailer is even reached.
+    last_key: Option<u64>,
+    path: PathBuf,
+}
+
+impl RunReader {
+    fn open(path: &Path) -> io::Result<Self> {
+        let file = File::open(path)?;
+        let mut reader = BufReader::new(file);
+        let mut crc = Crc32::new();
+        let mut magic = [0u8; 4];
+        reader.read_exact(&mut magic)?;
+        if &magic != RUN_MAGIC {
+            return Err(corrupt(path, "bad magic"));
+        }
+        crc.update(&magic);
+        let mut count = [0u8; 8];
+        reader.read_exact(&mut count)?;
+        crc.update(&count);
+        Ok(RunReader {
+            reader,
+            remaining: u64::from_le_bytes(count),
+            crc,
+            last_key: None,
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// Next record, or `None` after the trailer verified.
+    fn next_record(&mut self) -> io::Result<Option<(u64, f64)>> {
+        if self.remaining == 0 {
+            let mut trailer = [0u8; 4];
+            self.reader.read_exact(&mut trailer)?;
+            if u32::from_le_bytes(trailer) != self.crc.finish() {
+                return Err(corrupt(&self.path, "CRC-32 mismatch"));
+            }
+            return Ok(None);
+        }
+        let mut rec = [0u8; 16];
+        self.reader.read_exact(&mut rec)?;
+        self.crc.update(&rec);
+        self.remaining -= 1;
+        let key = u64::from_le_bytes(rec[..8].try_into().expect("8 bytes"));
+        let weight = f64::from_bits(u64::from_le_bytes(rec[8..].try_into().expect("8 bytes")));
+        if self.last_key.is_some_and(|last| key <= last) {
+            return Err(corrupt(&self.path, "keys out of order"));
+        }
+        self.last_key = Some(key);
+        Ok(Some((key, weight)))
+    }
+}
+
+fn corrupt(path: &Path, what: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("corrupt spill run {}: {what}", path.display()),
+    )
+}
+
+/// K-way merge over run readers plus the in-RAM tail, yielding a globally
+/// key-sorted stream. Sources with equal head keys pop in source order, so
+/// the stream is fully deterministic. I/O errors stop the stream and are
+/// surfaced through `error` (checked by the caller after assembly).
+struct MergeStream {
+    readers: Vec<RunReader>,
+    tail: std::vec::IntoIter<(u64, f64)>,
+    /// Min-heap via `Reverse`: `(key, source index)`. Source index
+    /// `readers.len()` is the in-RAM tail.
+    heap: BinaryHeap<std::cmp::Reverse<(u64, usize)>>,
+    /// Current head value per source (weight for the key in the heap).
+    heads: Vec<Option<(u64, f64)>>,
+    /// Node count of the graph under construction; keys whose endpoints
+    /// fall outside it are rejected as corruption before assembly sees
+    /// them (a flipped key bit can otherwise smuggle a bogus endpoint
+    /// past the not-yet-reached CRC trailer).
+    node_count: usize,
+    error: Option<io::Error>,
+}
+
+impl MergeStream {
+    fn new(
+        mut readers: Vec<RunReader>,
+        tail: Vec<(u64, f64)>,
+        node_count: usize,
+    ) -> io::Result<Self> {
+        let n = readers.len();
+        let mut heads: Vec<Option<(u64, f64)>> = Vec::with_capacity(n + 1);
+        let mut heap = BinaryHeap::with_capacity(n + 1);
+        for (i, r) in readers.iter_mut().enumerate() {
+            let head = r.next_record()?;
+            if let Some((k, _)) = head {
+                heap.push(std::cmp::Reverse((k, i)));
+            }
+            heads.push(head);
+        }
+        let mut tail = tail.into_iter();
+        let head = tail.next();
+        if let Some((k, _)) = head {
+            heap.push(std::cmp::Reverse((k, n)));
+        }
+        heads.push(head);
+        Ok(MergeStream {
+            readers,
+            tail,
+            heap,
+            heads,
+            node_count,
+            error: None,
+        })
+    }
+}
+
+impl Iterator for MergeStream {
+    type Item = (u64, f64);
+
+    fn next(&mut self) -> Option<(u64, f64)> {
+        if self.error.is_some() {
+            return None;
+        }
+        let std::cmp::Reverse((_, src)) = self.heap.pop()?;
+        let out = self.heads[src].take().expect("heap entry has a head");
+        let (s, d) = ((out.0 >> 32) as usize, (out.0 & 0xffff_ffff) as usize);
+        if s >= self.node_count || d >= self.node_count {
+            self.error = Some(if src < self.readers.len() {
+                corrupt(&self.readers[src].path, "edge endpoint out of range")
+            } else {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "edge endpoint out of range: ({s} or {d}) >= {}",
+                        self.node_count
+                    ),
+                )
+            });
+            return None;
+        }
+        let next = if src == self.readers.len() {
+            Ok(self.tail.next())
+        } else {
+            self.readers[src].next_record()
+        };
+        match next {
+            Ok(Some((k, w))) => {
+                self.heads[src] = Some((k, w));
+                self.heap.push(std::cmp::Reverse((k, src)));
+            }
+            Ok(None) => {}
+            Err(e) => self.error = Some(e),
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    /// Deterministic pseudo-random transition stream.
+    fn stream(total: usize, n: u32) -> Vec<(u32, u32)> {
+        let mut s = 7u64;
+        (0..total)
+            .map(|_| {
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (((s >> 33) % n as u64) as u32, ((s >> 13) % n as u64) as u32)
+            })
+            .collect()
+    }
+
+    fn assert_bit_identical(a: &CsrGraph<(), f64>, b: &CsrGraph<(), f64>) {
+        assert_eq!(a.node_count(), b.node_count());
+        assert_eq!(a.edge_count(), b.edge_count());
+        for (e, s, t, w) in a.edges_iter() {
+            assert_eq!(b.endpoints(e), (s, t));
+            assert_eq!(w.to_bits(), b.edge(e).to_bits(), "edge {e:?} weight");
+        }
+        for u in a.node_ids() {
+            assert_eq!(a.in_neighbors(u), b.in_neighbors(u));
+        }
+    }
+
+    #[test]
+    fn spill_build_is_bit_identical_to_in_ram_build() {
+        // 20k triples through a 3k budget → ≥ 6 spilled runs.
+        let edges = stream(20_000, 50);
+        let mut spill = SpillBuilder::new(3_000).unwrap();
+        let mut ram = GraphBuilder::new();
+        for &(s, t) in &edges {
+            spill.add_edge(NodeId(s), NodeId(t), 1.0).unwrap();
+            ram.add_edge(NodeId(s), NodeId(t), 1.0);
+        }
+        assert!(spill.runs_spilled() >= 6, "{} runs", spill.runs_spilled());
+        let g_spill = spill.build(vec![(); 50], |acc, w| *acc += w).unwrap();
+        let g_ram = ram.build(vec![(); 50], |acc, w| *acc += w);
+        assert_bit_identical(&g_spill, &g_ram);
+    }
+
+    #[test]
+    fn no_spill_needed_still_builds() {
+        let mut b = SpillBuilder::new(1_000).unwrap();
+        b.add_edge(NodeId(0), NodeId(1), 2.0).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), 1.0).unwrap();
+        assert_eq!(b.runs_spilled(), 0);
+        let g = b.build(vec![(); 3], |acc, w| *acc += w).unwrap();
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.weight_between(NodeId(0), NodeId(1)), Some(&2.0));
+    }
+
+    #[test]
+    fn empty_builder_builds_vertices_only() {
+        let b = SpillBuilder::new(10).unwrap();
+        let g = b.build(vec![(); 4], |acc, w| *acc += w).unwrap();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn corrupt_run_is_rejected() {
+        let mut b = SpillBuilder::new(4).unwrap();
+        for i in 0..12u32 {
+            b.add_edge(NodeId(i % 3), NodeId((i + 1) % 3), 1.0).unwrap();
+        }
+        assert!(b.runs_spilled() >= 2);
+        // Flip one byte in the middle of the first run's records.
+        let victim = b.runs[0].clone();
+        let mut bytes = std::fs::read(&victim).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&victim, bytes).unwrap();
+        let err = b.build(vec![(); 3], |acc, w| *acc += w).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("CRC-32") || msg.contains("corrupt"),
+            "unexpected error: {msg}"
+        );
+    }
+
+    #[test]
+    fn truncated_run_is_rejected() {
+        let mut b = SpillBuilder::new(4).unwrap();
+        for i in 0..12u32 {
+            b.add_edge(NodeId(i % 4), NodeId((i + 1) % 4), 1.0).unwrap();
+        }
+        let victim = b.runs[0].clone();
+        let bytes = std::fs::read(&victim).unwrap();
+        std::fs::write(&victim, &bytes[..bytes.len() - 6]).unwrap();
+        assert!(b.build(vec![(); 4], |acc, w| *acc += w).is_err());
+    }
+
+    #[test]
+    fn spill_dir_cleaned_up() {
+        let mut b = SpillBuilder::new(2).unwrap();
+        for i in 0..10u32 {
+            b.add_edge(NodeId(i % 2), NodeId(1 - i % 2), 1.0).unwrap();
+        }
+        let dir = b.dir.clone();
+        assert!(dir.exists());
+        let _ = b.build(vec![(); 2], |acc, w| *acc += w).unwrap();
+        assert!(!dir.exists(), "spill dir removed after build");
+    }
+}

@@ -5,7 +5,7 @@
 use proptest::prelude::*;
 use std::collections::{BTreeMap, BTreeSet};
 use tsgraph::algo;
-use tsgraph::{CsrGraph, DiGraph, GraphBuilder, NodeId};
+use tsgraph::{CsrGraph, DeltaGraph, DeltaView, DiGraph, GraphBuilder, NodeId, SpillBuilder};
 
 /// Random multigraph: node count plus an edge list with integer-valued
 /// weights (exact float arithmetic keeps aggregation checks exact).
@@ -16,6 +16,37 @@ fn multigraph() -> impl Strategy<Value = (usize, Vec<(usize, usize, u32)>)> {
             proptest::collection::vec((0..n, 0..n, 1u32..8), 0..120),
         )
     })
+}
+
+/// Asserts two CSR graphs are *bit*-identical: same edge ids, endpoints,
+/// weight bit patterns and in-adjacency. Integer-valued weights keep the
+/// aggregation sums exact regardless of merge order, so equality is on
+/// `f64::to_bits`, not a tolerance.
+fn assert_bit_identical(
+    a: &CsrGraph<usize, f64>,
+    b: &CsrGraph<usize, f64>,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.node_count(), b.node_count());
+    prop_assert_eq!(a.edge_count(), b.edge_count());
+    for ((ea, sa, ta, wa), (eb, sb, tb, wb)) in a.edges_iter().zip(b.edges_iter()) {
+        prop_assert_eq!(ea, eb);
+        prop_assert_eq!(sa, sb);
+        prop_assert_eq!(ta, tb);
+        prop_assert_eq!(wa.to_bits(), wb.to_bits());
+    }
+    for u in a.node_ids() {
+        prop_assert_eq!(a.out_neighbors(u), b.out_neighbors(u));
+        prop_assert_eq!(a.in_neighbors(u), b.in_neighbors(u));
+    }
+    Ok(())
+}
+
+fn build_in_ram(n: usize, edges: &[(usize, usize, u32)]) -> CsrGraph<usize, f64> {
+    let mut b = GraphBuilder::new();
+    for &(s, t, w) in edges {
+        b.add_edge(NodeId(s as u32), NodeId(t as u32), w as f64);
+    }
+    b.build((0..n).collect::<Vec<usize>>(), |acc, w| *acc += w)
 }
 
 fn digraph_of(n: usize, edges: &[(usize, usize, u32)]) -> DiGraph<usize, f64> {
@@ -164,6 +195,49 @@ proptest! {
         for (a, b) in pr_di.iter().zip(&pr_cs) {
             prop_assert!((a - b).abs() < 1e-9, "{a} vs {b}");
         }
+    }
+
+    #[test]
+    fn spill_build_bit_identical_to_in_ram(
+        (n, edges) in multigraph(),
+        budget in 1usize..48,
+    ) {
+        // The bounded-memory path — sorted runs spilled to disk, k-way
+        // merged back — must produce the *same bytes* as the in-RAM
+        // builder for any edge stream and any triple budget.
+        let in_ram = build_in_ram(n, &edges);
+        let mut spill = SpillBuilder::new(budget).expect("spill dir");
+        for &(s, t, w) in &edges {
+            spill
+                .add_edge(NodeId(s as u32), NodeId(t as u32), w as f64)
+                .expect("spill add_edge");
+        }
+        let spilled = spill
+            .build((0..n).collect::<Vec<usize>>(), |acc, w| *acc += w)
+            .expect("spill build");
+        assert_bit_identical(&in_ram, &spilled)?;
+    }
+
+    #[test]
+    fn delta_compaction_bit_identical_to_full_rebuild(
+        (n, edges) in multigraph(),
+        split_ppm in 0u32..=1_000_000,
+    ) {
+        // Base CSR over a prefix of the stream + a DeltaGraph over the
+        // suffix, compacted, must equal a from-scratch build of the whole
+        // stream — for every split point.
+        let split = (edges.len() as u64 * split_ppm as u64 / 1_000_000) as usize;
+        let full = build_in_ram(n, &edges);
+        let base = build_in_ram(n, &edges[..split]);
+        let mut delta = DeltaGraph::new(n);
+        delta.ingest(
+            edges[split..]
+                .iter()
+                .map(|&(s, t, w)| (NodeId(s as u32), NodeId(t as u32), w as f64)),
+            |acc, w| *acc += w,
+        );
+        let compacted = DeltaView::new(&base, &delta).compact(|acc, w| *acc += w);
+        assert_bit_identical(&full, &compacted)?;
     }
 
     #[test]

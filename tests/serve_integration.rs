@@ -197,12 +197,16 @@ fn overload_sheds_with_503_and_retry_after() {
     .expect("start server");
     let addr = server.addr();
 
+    // Stagger the occupiers: the first must reach the worker before the
+    // second arrives, otherwise the second is itself shed at the door and
+    // the queue slot stays free for the burst.
     let occupiers: Vec<_> = (0..2)
-        .map(|_| std::thread::spawn(move || request(addr, "GET", "/debug/sleep?ms=1200", "").0))
+        .map(|_| {
+            let h = std::thread::spawn(move || request(addr, "GET", "/debug/sleep?ms=1200", "").0);
+            std::thread::sleep(Duration::from_millis(200));
+            h
+        })
         .collect();
-    // Let the first occupier reach the worker and the second settle into
-    // the queue slot before bursting.
-    std::thread::sleep(Duration::from_millis(300));
 
     let mut shed = 0usize;
     let mut retry_after_seen = false;
@@ -264,6 +268,117 @@ fn shutdown_drains_in_flight_requests() {
         TcpStream::connect_timeout(&addr, Duration::from_millis(300)).is_err(),
         "listener is gone after shutdown"
     );
+}
+
+#[test]
+fn streaming_ingest_updates_scores_without_refit() {
+    // Refresh on every ingest, compact every second refresh: one test
+    // exercises the whole append → refresh → compact → publish cycle.
+    let server = Server::start(
+        ServerConfig {
+            workers: 4,
+            stream: streamfit::StreamConfig {
+                refresh_every: 0,
+                compact_every: 2,
+                context: 3,
+            },
+            ..ServerConfig::default()
+        },
+        demo_store(),
+    )
+    .expect("start server");
+    let addr = server.addr();
+
+    // No session yet.
+    let (status, body) = request(addr, "GET", "/models/demo/stream-status", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"active\":false"), "{body}");
+
+    // First ingest: an in-distribution wave. The refresh cadence fires
+    // inside the call, so scores are immediately visible.
+    let wave: Vec<String> = (0..60)
+        .map(|i| (i as f64 * 0.3).sin().to_string())
+        .collect();
+    let ingest_body = format!("{{\"series\":0,\"points\":[{}]}}", wave.join(","));
+    let (status, body) = request(addr, "POST", "/models/demo/ingest", &ingest_body);
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"refreshed\":true"), "{body}");
+
+    let (status, body) = request(addr, "GET", "/models/demo/stream-status", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"active\":true"), "{body}");
+    assert!(body.contains("\"points_total\":60"), "{body}");
+    let mean_before = extract_f64(&body, "\"mean_score\":");
+
+    // Concurrent readers keep scoring the published snapshot while the
+    // writer ingests an out-of-distribution burst; nobody blocks, nobody
+    // errors.
+    let readers: Vec<_> = (0..6)
+        .map(|_| {
+            std::thread::spawn(move || {
+                for _ in 0..5 {
+                    let (status, body) = request(
+                        addr,
+                        "POST",
+                        "/models/demo/score?context=3",
+                        &series_json(0),
+                    );
+                    assert_eq!(status, 200, "{body}");
+                    assert!(body.starts_with("{\"scores\":["), "{body}");
+                }
+            })
+        })
+        .collect();
+    // Second ingest (compaction cadence fires → a compacted model is
+    // published into the store, no refit): a flat burst the training
+    // waves never produced.
+    let burst = vec!["0.0"; 48].join(",");
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/models/demo/ingest",
+        &format!("{{\"series\":0,\"points\":[{burst}]}}"),
+    );
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"compacted\":true"), "{body}");
+    for h in readers {
+        h.join().expect("reader thread");
+    }
+
+    // The session rescored the series against the merged view: same
+    // session, more points, different mean.
+    let (status, body) = request(addr, "GET", "/models/demo/stream-status", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"points_total\":108"), "{body}");
+    assert!(body.contains("\"compactions\":1"), "{body}");
+    assert!(body.contains("\"delta_edges\":0"), "{body}");
+    let mean_after = extract_f64(&body, "\"mean_score\":");
+    assert_ne!(
+        mean_before, mean_after,
+        "refresh recomputed the scores: {body}"
+    );
+
+    // The model was never refit: still the 8-series fit from the seed
+    // store, now backed by the compacted base.
+    let (status, body) = request(addr, "GET", "/models/demo", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"n_series\":8"), "{body}");
+    let (status, body) = request(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert!(
+        body.contains("graphserve_route_requests_total{route=\"ingest\"} 2"),
+        "{body}"
+    );
+    server.shutdown();
+}
+
+/// Pulls the first number following `key` out of a JSON body.
+fn extract_f64(body: &str, key: &str) -> f64 {
+    let rest = &body[body.find(key).expect(key) + key.len()..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().expect("numeric value")
 }
 
 #[test]
