@@ -4,6 +4,7 @@
 //! graphserve [--addr 127.0.0.1:7878] [--models-dir DIR] [--demo]
 //!            [--workers N] [--queue N] [--budget-mb N] [--port-file PATH]
 //!            [--refresh-every N] [--compact-every N]
+//!            [--state-dir DIR] [--wal-sync-every N] [--snapshot-every N]
 //! ```
 //!
 //! `--models-dir` loads every `*.kgm` file at startup (file stem = model
@@ -13,12 +14,19 @@
 //! discover an ephemeral port. `--refresh-every` / `--compact-every` set
 //! the streaming-ingest cadences (points per rescore, refreshes per
 //! compaction).
+//!
+//! `--state-dir` turns on crash-safe durability: ingests are journaled to
+//! a per-model WAL before being acknowledged, snapshots are written
+//! atomically every `--snapshot-every` refreshes, and startup recovers the
+//! newest snapshot plus WAL tail from the same directory.
+//! `--wal-sync-every` sets the group-commit cadence (1 = fsync every
+//! record; larger values trade the tail of a crash for throughput).
 
-use graphserve::{ModelStore, Server, ServerConfig};
+use graphserve::{recover, Durability, DurabilityConfig, ModelStore, Server, ServerConfig};
 use kgraph::{KGraph, KGraphConfig};
 use std::path::PathBuf;
 use std::sync::Arc;
-use streamfit::StreamConfig;
+use streamfit::{SessionRegistry, StreamConfig};
 
 struct Args {
     addr: String,
@@ -29,13 +37,17 @@ struct Args {
     budget_mb: usize,
     port_file: Option<PathBuf>,
     stream: StreamConfig,
+    state_dir: Option<PathBuf>,
+    wal_sync_every: u64,
+    snapshot_every: u64,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: graphserve [--addr HOST:PORT] [--models-dir DIR] [--demo] \
          [--workers N] [--queue N] [--budget-mb N] [--port-file PATH] \
-         [--refresh-every N] [--compact-every N]"
+         [--refresh-every N] [--compact-every N] \
+         [--state-dir DIR] [--wal-sync-every N] [--snapshot-every N]"
     );
     std::process::exit(2);
 }
@@ -50,6 +62,9 @@ fn parse_args() -> Args {
         budget_mb: 0,
         port_file: None,
         stream: StreamConfig::default(),
+        state_dir: None,
+        wal_sync_every: 1,
+        snapshot_every: DurabilityConfig::default().snapshot_every,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -76,6 +91,17 @@ fn parse_args() -> Args {
             "--compact-every" => {
                 args.stream.compact_every =
                     value("--compact-every").parse().unwrap_or_else(|_| usage())
+            }
+            "--state-dir" => args.state_dir = Some(PathBuf::from(value("--state-dir"))),
+            "--wal-sync-every" => {
+                args.wal_sync_every = value("--wal-sync-every")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--snapshot-every" => {
+                args.snapshot_every = value("--snapshot-every")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
             }
             "--help" | "-h" => usage(),
             other => {
@@ -120,7 +146,23 @@ fn main() {
         stream: args.stream,
         ..ServerConfig::default()
     };
-    let server = match Server::start(config, store) {
+
+    let durability = match &args.state_dir {
+        Some(dir) => Arc::new(Durability::new(DurabilityConfig {
+            state_dir: dir.clone(),
+            wal_sync_every: args.wal_sync_every,
+            snapshot_every: args.snapshot_every,
+            ..DurabilityConfig::default()
+        })),
+        None => Arc::new(Durability::disabled()),
+    };
+    let sessions = Arc::new(SessionRegistry::new(config.stream.clone()));
+    // Recover AFTER the store is populated (models-dir / demo) so models
+    // with durable state win over their freshly loaded versions and the
+    // rest are adopted into the state directory.
+    recover(&durability, &store, &sessions);
+
+    let server = match Server::start_with(config, store, sessions, durability) {
         Ok(server) => server,
         Err(e) => {
             eprintln!("failed to start: {e}");

@@ -1,0 +1,614 @@
+//! Crash-safe durability for served models: per-model WALs, atomic
+//! snapshots, degraded-mode bookkeeping and the counters `/metrics` and
+//! `/healthz` expose.
+//!
+//! ## On-disk layout
+//!
+//! ```text
+//! <state_dir>/<model>/
+//!     snap-<seq:016>.kgm   KGM2 model at sequence <seq>
+//!     snap-<seq:016>.kgs   KGS1 session state at sequence <seq>
+//!     wal.log              KGW1 journal, base_seq == newest snapshot seq
+//! ```
+//!
+//! A snapshot is the *pair* of files for one zero-padded sequence number;
+//! each file lands via `tmp → fsync → rename → dir fsync`, model first,
+//! then session state. Recovery treats a lone `.kgm` or `.kgs` as no
+//! snapshot, so a crash between the two renames simply falls back to the
+//! previous generation — whose WAL coverage is intact, because the WAL is
+//! only rewritten (fresh, with the new `base_seq`) *after* both files are
+//! in place. [`DurabilityConfig::keep_snapshots`] generations are retained.
+//!
+//! ## Write path
+//!
+//! The ingest route calls [`Durability::log_ingest`] *before*
+//! `StreamSession::append`, holding the per-model session lock, so the WAL
+//! order is exactly the apply order. Transient I/O errors are retried with
+//! bounded backoff; a failed append is rolled back to the previous record
+//! boundary and surfaced as retryable (`503` upstream). When even the
+//! rollback fails the model flips to degraded read-only — reads keep
+//! serving, writes are refused — rather than risking silent divergence
+//! between the log and the in-memory state.
+
+use crate::fsio::{Fs, StdFs};
+use crate::wal::Wal;
+use kgraph::pipeline::KGraphModel;
+use kgraph::serial;
+use std::collections::HashMap;
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+use streamfit::{StreamConfig, StreamSession};
+
+/// Tuning knobs of the durability layer.
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// Root directory holding one subdirectory per durable model.
+    pub state_dir: PathBuf,
+    /// Fsync the WAL after every N appended records (group commit).
+    /// 1 = every record is durable before its ingest is acknowledged;
+    /// larger values trade a bounded window of acknowledged-but-unsynced
+    /// records for fewer fsyncs.
+    pub wal_sync_every: u64,
+    /// Take a snapshot every N session refreshes (compactions always
+    /// snapshot). 0 snapshots on every refresh.
+    pub snapshot_every: u64,
+    /// Bounded retries for transient I/O errors.
+    pub io_retries: u32,
+    /// Backoff between retries (doubled per attempt).
+    pub retry_backoff: Duration,
+    /// Snapshot generations retained per model.
+    pub keep_snapshots: usize,
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> Self {
+        DurabilityConfig {
+            state_dir: PathBuf::from("state"),
+            wal_sync_every: 1,
+            snapshot_every: 4,
+            io_retries: 2,
+            retry_backoff: Duration::from_millis(20),
+            keep_snapshots: 2,
+        }
+    }
+}
+
+/// Shared atomic counters, surfaced by `/metrics`.
+#[derive(Debug, Default)]
+pub struct DurabilityCounters {
+    /// WAL records appended and acknowledged.
+    pub wal_records_written: AtomicU64,
+    /// WAL records replayed during recovery.
+    pub wal_records_replayed: AtomicU64,
+    /// WAL records truncated: torn/corrupt tails discarded at recovery
+    /// plus records retired by snapshot-time log rewrites.
+    pub wal_records_truncated: AtomicU64,
+    /// WAL fsync calls issued.
+    pub wal_syncs: AtomicU64,
+    /// Snapshot pairs written successfully.
+    pub snapshots_written: AtomicU64,
+    /// Snapshot attempts that failed (data stays WAL-covered).
+    pub snapshot_failures: AtomicU64,
+    /// Transient I/O retries performed.
+    pub io_retries: AtomicU64,
+    /// Ingest records appended since the last successful snapshot, summed
+    /// over models — the deterministic "snapshot age" gauge.
+    pub records_since_snapshot: AtomicU64,
+    /// Wall-clock milliseconds the last startup recovery took.
+    pub recovery_duration_ms: AtomicU64,
+    /// Models restored from snapshot (+ replay) at startup.
+    pub models_recovered: AtomicU64,
+    /// Models currently degraded read-only.
+    pub models_degraded: AtomicU64,
+}
+
+/// Why a model's ingest path is closed.
+#[derive(Debug, Clone)]
+pub struct Degraded {
+    /// Human-readable cause, also logged and exported.
+    pub reason: String,
+}
+
+struct ModelDur {
+    /// `None` while degraded (or before registration completes).
+    wal: Option<Wal>,
+    /// Last acknowledged sequence number.
+    seq: u64,
+    /// Sequence covered by the newest on-disk snapshot.
+    snapshot_seq: u64,
+    /// Session refresh count at the last snapshot (cadence anchor).
+    refreshes_at_snapshot: u64,
+    degraded: Option<Degraded>,
+}
+
+/// Outcome of [`Durability::log_ingest`].
+#[derive(Debug)]
+pub enum IngestLog {
+    /// The record is in the WAL (sequence number attached) — or durability
+    /// is disabled / the model is non-durable, in which case `seq` is 0.
+    Logged {
+        /// WAL sequence, 0 when nothing was logged.
+        seq: u64,
+    },
+    /// The WAL could not take the record but was rolled back cleanly; the
+    /// ingest must be refused retryably (`503` + `Retry-After`).
+    Unavailable {
+        /// The underlying error, for the response body and logs.
+        reason: String,
+    },
+    /// The model is degraded read-only; writes are refused until an
+    /// operator repairs the state directory and restarts.
+    Degraded {
+        /// Why the model degraded.
+        reason: String,
+    },
+}
+
+/// The durability manager. One per server; cheap to share behind an `Arc`.
+pub struct Durability {
+    enabled: bool,
+    fs: Arc<dyn Fs>,
+    cfg: DurabilityConfig,
+    counters: Arc<DurabilityCounters>,
+    recovering: AtomicBool,
+    models: Mutex<HashMap<String, ModelDur>>,
+}
+
+/// `true` when `name` is safe to use as a directory name under the state
+/// root (no traversal, no separators, non-empty).
+pub fn durable_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 128
+        && name != "."
+        && name != ".."
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_' || b == b'.')
+}
+
+impl Durability {
+    /// A live durability layer over the real filesystem.
+    pub fn new(cfg: DurabilityConfig) -> Self {
+        Self::with_fs(cfg, Arc::new(StdFs))
+    }
+
+    /// A live durability layer over an arbitrary [`Fs`] — the seam the
+    /// fault-injection tests use.
+    pub fn with_fs(cfg: DurabilityConfig, fs: Arc<dyn Fs>) -> Self {
+        Durability {
+            enabled: true,
+            fs,
+            cfg,
+            counters: Arc::new(DurabilityCounters::default()),
+            recovering: AtomicBool::new(false),
+            models: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// A no-op layer: every operation succeeds without touching disk.
+    /// Used when the server runs without `--state-dir`.
+    pub fn disabled() -> Self {
+        Durability {
+            enabled: false,
+            fs: Arc::new(StdFs),
+            cfg: DurabilityConfig::default(),
+            counters: Arc::new(DurabilityCounters::default()),
+            recovering: AtomicBool::new(false),
+            models: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Whether the layer persists anything.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The shared counters.
+    pub fn counters(&self) -> &Arc<DurabilityCounters> {
+        &self.counters
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DurabilityConfig {
+        &self.cfg
+    }
+
+    /// The filesystem seam (recovery shares it).
+    pub(crate) fn fs(&self) -> &Arc<dyn Fs> {
+        &self.fs
+    }
+
+    /// Flags the startup-recovery phase for `/healthz`.
+    pub fn set_recovering(&self, on: bool) {
+        self.recovering.store(on, Ordering::Release);
+    }
+
+    /// Whether startup recovery is still running.
+    pub fn is_recovering(&self) -> bool {
+        self.recovering.load(Ordering::Acquire)
+    }
+
+    /// Why `name` is degraded, if it is.
+    pub fn degraded_reason(&self, name: &str) -> Option<String> {
+        self.models
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(name)
+            .and_then(|m| m.degraded.as_ref())
+            .map(|d| d.reason.clone())
+    }
+
+    /// Every degraded model with its reason, sorted by name.
+    pub fn degraded_models(&self) -> Vec<(String, String)> {
+        let mut out: Vec<_> = self
+            .models
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .filter_map(|(n, m)| m.degraded.as_ref().map(|d| (n.clone(), d.reason.clone())))
+            .collect();
+        out.sort();
+        out
+    }
+
+    fn model_dir(&self, name: &str) -> PathBuf {
+        self.cfg.state_dir.join(name)
+    }
+
+    fn snapshot_path(&self, name: &str, seq: u64, ext: &str) -> PathBuf {
+        self.model_dir(name).join(format!("snap-{seq:016}.{ext}"))
+    }
+
+    fn wal_path(&self, name: &str) -> PathBuf {
+        self.model_dir(name).join("wal.log")
+    }
+
+    /// Runs `op` with bounded retry + doubling backoff on transient
+    /// errors. Non-transient errors (`ENOSPC` and friends) fail fast.
+    fn with_retries<T>(&self, mut op: impl FnMut() -> io::Result<T>) -> io::Result<T> {
+        let mut backoff = self.cfg.retry_backoff;
+        let mut attempt = 0u32;
+        loop {
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(e) if attempt < self.cfg.io_retries && is_transient(&e) => {
+                    attempt += 1;
+                    self.counters.io_retries.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(backoff);
+                    backoff = backoff.saturating_mul(2);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn mark_degraded(&self, name: &str, reason: String) {
+        let mut models = self.models.lock().unwrap_or_else(|e| e.into_inner());
+        let entry = models.entry(name.to_string()).or_insert_with(|| ModelDur {
+            wal: None,
+            seq: 0,
+            snapshot_seq: 0,
+            refreshes_at_snapshot: 0,
+            degraded: None,
+        });
+        if entry.degraded.is_none() {
+            self.counters
+                .models_degraded
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        eprintln!("[durability] model {name} degraded read-only: {reason}");
+        entry.wal = None;
+        entry.degraded = Some(Degraded { reason });
+    }
+
+    /// Writes the snapshot pair for `session` at `seq` and installs a
+    /// fresh WAL. Called with the per-model session lock held (the only
+    /// writer), so the pair is a consistent point-in-time image.
+    fn write_snapshot_locked(
+        &self,
+        entry: &mut ModelDur,
+        name: &str,
+        session: &StreamSession,
+        seq: u64,
+        refreshes: u64,
+    ) -> io::Result<()> {
+        let dir = self.model_dir(name);
+        self.with_retries(|| self.fs.create_dir_all(&dir))?;
+        // Model first, session state second: recovery requires the pair,
+        // so a crash between the two renames falls back to the previous
+        // generation.
+        let model_bytes = serial::write_model(session.model());
+        let state_bytes = streamfit::write_session_state(session, seq);
+        for (ext, bytes) in [("kgm", &model_bytes), ("kgs", &state_bytes)] {
+            let target = self.snapshot_path(name, seq, ext);
+            let tmp = dir.join(format!("snap-{seq:016}.{ext}.tmp"));
+            self.with_retries(|| self.fs.write(&tmp, bytes))?;
+            self.with_retries(|| self.fs.rename(&tmp, &target))?;
+        }
+        self.with_retries(|| self.fs.sync_dir(&dir))?;
+        // The pair is durable: retire the old WAL coverage.
+        let retired = seq.saturating_sub(entry.snapshot_seq);
+        let wal = Wal::create(
+            &*self.fs,
+            &self.wal_path(name),
+            seq,
+            self.cfg.wal_sync_every,
+        )?;
+        entry.wal = Some(wal);
+        entry.seq = seq;
+        entry.snapshot_seq = seq;
+        entry.refreshes_at_snapshot = refreshes;
+        self.counters
+            .wal_records_truncated
+            .fetch_add(retired, Ordering::Relaxed);
+        // Balanced with the per-record increments in `log_ingest`:
+        // `retired` counts exactly the records logged since the previous
+        // snapshot of this model.
+        self.counters
+            .records_since_snapshot
+            .fetch_sub(retired, Ordering::Relaxed);
+        self.counters
+            .snapshots_written
+            .fetch_add(1, Ordering::Relaxed);
+        self.prune_snapshots(name, seq);
+        Ok(())
+    }
+
+    /// Removes snapshot generations beyond the retention count (never the
+    /// one at `keep_seq`). Best-effort: pruning failures only log.
+    fn prune_snapshots(&self, name: &str, keep_seq: u64) {
+        let dir = self.model_dir(name);
+        let Ok(entries) = self.fs.read_dir(&dir) else {
+            return;
+        };
+        let mut seqs: Vec<u64> = entries
+            .iter()
+            .filter_map(|p| snapshot_seq_of(p, "kgs"))
+            .collect();
+        seqs.sort_unstable();
+        seqs.dedup();
+        if seqs.len() <= self.cfg.keep_snapshots.max(1) {
+            return;
+        }
+        let cut = seqs.len() - self.cfg.keep_snapshots.max(1);
+        for &seq in &seqs[..cut] {
+            if seq == keep_seq {
+                continue;
+            }
+            for ext in ["kgm", "kgs"] {
+                let path = self.snapshot_path(name, seq, ext);
+                if let Err(e) = self.fs.remove_file(&path) {
+                    eprintln!("[durability] pruning {}: {e}", path.display());
+                }
+            }
+        }
+    }
+
+    /// Registers a freshly fitted (or adopted) model: initial snapshot at
+    /// sequence 0 plus an empty WAL. On failure the model serves
+    /// non-durably degraded — reads work, ingest is refused.
+    pub fn persist_initial(&self, name: &str, model: &Arc<KGraphModel>, cfg: &StreamConfig) {
+        if !self.enabled {
+            return;
+        }
+        if !durable_name(name) {
+            self.mark_degraded(
+                name,
+                format!("model name {name:?} is not a safe directory name"),
+            );
+            return;
+        }
+        // A transient session just for serialization: a fresh session's
+        // state is exactly "no series, no deltas, counters at zero".
+        let session = StreamSession::new(Arc::clone(model), cfg.clone());
+        let mut models = self.models.lock().unwrap_or_else(|e| e.into_inner());
+        let entry = models.entry(name.to_string()).or_insert_with(|| ModelDur {
+            wal: None,
+            seq: 0,
+            snapshot_seq: 0,
+            refreshes_at_snapshot: 0,
+            degraded: None,
+        });
+        if entry.degraded.take().is_some() {
+            // Re-registering (re-fit) clears a previous degradation.
+            self.counters
+                .models_degraded
+                .fetch_sub(1, Ordering::Relaxed);
+        }
+        if let Err(e) = self.write_snapshot_locked(entry, name, &session, 0, 0) {
+            drop(models);
+            self.counters
+                .snapshot_failures
+                .fetch_add(1, Ordering::Relaxed);
+            self.mark_degraded(name, format!("initial snapshot failed: {e}"));
+        }
+    }
+
+    /// Installs a recovered model: its WAL restarts at `seq` behind a
+    /// fresh healing snapshot of `session`. On failure the model degrades
+    /// read-only (the old state files are left untouched for the
+    /// operator).
+    pub fn install_recovered(
+        &self,
+        name: &str,
+        session: &StreamSession,
+        seq: u64,
+    ) -> Result<(), String> {
+        if !self.enabled {
+            return Ok(());
+        }
+        let mut models = self.models.lock().unwrap_or_else(|e| e.into_inner());
+        let entry = models.entry(name.to_string()).or_insert_with(|| ModelDur {
+            wal: None,
+            seq,
+            snapshot_seq: seq,
+            refreshes_at_snapshot: session.refreshes(),
+            degraded: None,
+        });
+        match self.write_snapshot_locked(entry, name, session, seq, session.refreshes()) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                drop(models);
+                self.counters
+                    .snapshot_failures
+                    .fetch_add(1, Ordering::Relaxed);
+                let reason = format!("healing snapshot failed: {e}");
+                self.mark_degraded(name, reason.clone());
+                Err(reason)
+            }
+        }
+    }
+
+    /// Marks `name` degraded read-only with `reason` (recovery uses this
+    /// when it can serve a snapshot but not guarantee new writes).
+    pub fn degrade(&self, name: &str, reason: String) {
+        if self.enabled {
+            self.mark_degraded(name, reason);
+        }
+    }
+
+    /// Journals one ingest. Must be called with the per-model session
+    /// lock held, *before* the corresponding `StreamSession::append`.
+    pub fn log_ingest(&self, name: &str, series: u32, points: &[f64]) -> IngestLog {
+        if !self.enabled || !durable_name(name) {
+            return IngestLog::Logged { seq: 0 };
+        }
+        let mut models = self.models.lock().unwrap_or_else(|e| e.into_inner());
+        let Some(entry) = models.get_mut(name) else {
+            // Served but never registered (shouldn't happen once adoption
+            // runs at startup): refuse retryably rather than diverge.
+            return IngestLog::Unavailable {
+                reason: format!("model {name} has no durable state directory"),
+            };
+        };
+        if let Some(d) = &entry.degraded {
+            return IngestLog::Degraded {
+                reason: d.reason.clone(),
+            };
+        }
+        let Some(wal) = entry.wal.as_mut() else {
+            return IngestLog::Unavailable {
+                reason: format!("model {name} has no open WAL"),
+            };
+        };
+        enum Attempt {
+            Logged(u64, bool),
+            Poisoned(String),
+            Failed(String),
+        }
+        let mut backoff = self.cfg.retry_backoff;
+        let mut attempt = 0u32;
+        let outcome = loop {
+            match wal.append(series, points) {
+                Ok((seq, synced)) => {
+                    entry.seq = seq;
+                    break Attempt::Logged(seq, synced);
+                }
+                Err(e) if e.poisoned => break Attempt::Poisoned(format!("{e}")),
+                Err(e) if attempt < self.cfg.io_retries && is_transient(&e.io) => {
+                    attempt += 1;
+                    self.counters.io_retries.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(backoff);
+                    backoff = backoff.saturating_mul(2);
+                }
+                Err(e) => break Attempt::Failed(format!("{e}")),
+            }
+        };
+        drop(models);
+        match outcome {
+            Attempt::Logged(seq, synced) => {
+                self.counters
+                    .wal_records_written
+                    .fetch_add(1, Ordering::Relaxed);
+                self.counters
+                    .wal_syncs
+                    .fetch_add(u64::from(synced), Ordering::Relaxed);
+                self.counters
+                    .records_since_snapshot
+                    .fetch_add(1, Ordering::Relaxed);
+                IngestLog::Logged { seq }
+            }
+            Attempt::Poisoned(reason) => {
+                self.mark_degraded(name, reason.clone());
+                IngestLog::Degraded { reason }
+            }
+            Attempt::Failed(reason) => IngestLog::Unavailable { reason },
+        }
+    }
+
+    /// Called after a successful append with the session still locked:
+    /// snapshots on the refresh cadence (or on compaction).
+    pub fn after_append(&self, name: &str, session: &StreamSession, outcome_refreshed: bool) {
+        if !self.enabled || !outcome_refreshed || !durable_name(name) {
+            return;
+        }
+        let mut models = self.models.lock().unwrap_or_else(|e| e.into_inner());
+        let Some(entry) = models.get_mut(name) else {
+            return;
+        };
+        if entry.degraded.is_some() {
+            return;
+        }
+        let due = session
+            .refreshes()
+            .saturating_sub(entry.refreshes_at_snapshot)
+            >= self.cfg.snapshot_every.max(1)
+            || self.cfg.snapshot_every == 0;
+        if !due {
+            return;
+        }
+        let seq = entry.seq;
+        let refreshes = session.refreshes();
+        if let Err(e) = self.write_snapshot_locked(entry, name, session, seq, refreshes) {
+            // Not fatal: every acknowledged record is still WAL-covered.
+            self.counters
+                .snapshot_failures
+                .fetch_add(1, Ordering::Relaxed);
+            eprintln!("[durability] snapshot of {name} at seq {seq} failed: {e}");
+        }
+    }
+
+    /// Forgets `name` and deletes its state directory (model deletion).
+    pub fn remove_model(&self, name: &str) {
+        if !self.enabled || !durable_name(name) {
+            return;
+        }
+        let removed = {
+            let mut models = self.models.lock().unwrap_or_else(|e| e.into_inner());
+            models.remove(name)
+        };
+        if let Some(m) = removed {
+            if m.degraded.is_some() {
+                self.counters
+                    .models_degraded
+                    .fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+        let dir = self.model_dir(name);
+        if self.fs.exists(&dir) {
+            if let Err(e) = self.fs.remove_dir_all(&dir) {
+                eprintln!("[durability] removing {}: {e}", dir.display());
+            }
+        }
+    }
+}
+
+/// Extracts the sequence number of `snap-<seq>.ext` paths.
+pub(crate) fn snapshot_seq_of(path: &std::path::Path, ext: &str) -> Option<u64> {
+    if path.extension().and_then(|e| e.to_str()) != Some(ext) {
+        return None;
+    }
+    let stem = path.file_stem()?.to_str()?;
+    stem.strip_prefix("snap-")?.parse().ok()
+}
+
+/// Whether an I/O error is worth a bounded retry.
+fn is_transient(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}

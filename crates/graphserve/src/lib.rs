@@ -30,13 +30,19 @@
 
 #![warn(missing_docs)]
 
+pub mod durability;
+pub mod fsio;
 pub mod http;
 pub mod json;
 pub mod queue;
+pub mod recovery;
 pub mod routes;
 pub mod server;
 pub mod store;
+pub mod wal;
 
+pub use durability::{Durability, DurabilityConfig};
+pub use recovery::{recover, RecoveryReport};
 pub use routes::RouteContext;
 pub use server::{Server, ServerConfig, ServerStats};
 pub use store::{ModelStore, StoreReader};

@@ -10,6 +10,7 @@
 //! (short series, bad parameters) are 4xx, model-side degeneracy is 5xx,
 //! unparseable bodies are 400.
 
+use crate::durability::{Durability, IngestLog};
 use crate::http::{Request, Response};
 use crate::json::{f64s_to_json, write_json_string, Json};
 use crate::server::ServerStats;
@@ -36,6 +37,9 @@ pub struct RouteContext<'a> {
     pub sessions: &'a SessionRegistry,
     /// Shared monotonic counters.
     pub stats: &'a ServerStats,
+    /// The durability layer (WAL + snapshots); a disabled instance when
+    /// the server runs without a state directory.
+    pub durability: &'a Durability,
 }
 
 /// Maximum number of series accepted in one batch request.
@@ -202,6 +206,7 @@ fn query_f64(req: &Request, name: &str, default: f64) -> Result<f64, Response> {
 fn route_label(method: &str, segments: &[&str]) -> &'static str {
     match (method, segments) {
         ("GET", ["health"]) => "health",
+        ("GET", ["healthz"]) => "healthz",
         ("GET", ["metrics"]) => "metrics",
         ("GET", ["models"]) => "models",
         ("PUT", ["models", _]) => "fit",
@@ -230,14 +235,17 @@ pub fn handle(req: &Request, reader: &mut StoreReader<'_>, ctx: &RouteContext<'_
     let store = ctx.store;
     match (req.method.as_str(), segments.as_slice()) {
         ("GET", ["health"]) => health(store),
+        ("GET", ["healthz"]) => healthz(ctx),
         ("GET", ["metrics"]) => metrics_endpoint(ctx),
         ("GET", ["models"]) => list_models(store),
-        ("PUT", ["models", name]) => fit_model(req, store, name),
+        ("PUT", ["models", name]) => fit_model(req, ctx, name),
         ("DELETE", ["models", name]) => {
             if store.remove(name) {
                 // The streaming session buffers node ids of the deleted
-                // graph; drop it with the model.
+                // graph; drop it with the model, along with its durable
+                // state.
                 ctx.sessions.remove(name);
+                ctx.durability.remove_model(name);
                 Response::json(200, format!("{{\"deleted\":\"{name}\"}}"))
             } else {
                 Response::error(404, &format!("no model named {name:?}"))
@@ -290,6 +298,37 @@ fn health(store: &ModelStore) -> Response {
     )
 }
 
+/// `GET /healthz` — readiness + recovery state. `"recovering"` (503) while
+/// startup recovery runs, `"degraded"` (200 — reads still serve) when any
+/// model is read-only, `"ok"` otherwise.
+fn healthz(ctx: &RouteContext<'_>) -> Response {
+    let degraded = ctx.durability.degraded_models();
+    let (status, code) = if ctx.durability.is_recovering() {
+        ("recovering", 503)
+    } else if !degraded.is_empty() {
+        ("degraded", 200)
+    } else {
+        ("ok", 200)
+    };
+    let mut body = format!(
+        "{{\"status\":\"{status}\",\"durability\":{},\"models\":{},\"degraded\":[",
+        ctx.durability.enabled(),
+        ctx.store.len()
+    );
+    for (i, (name, reason)) in degraded.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str("{\"model\":");
+        write_json_string(&mut body, name);
+        body.push_str(",\"reason\":");
+        write_json_string(&mut body, reason);
+        body.push('}');
+    }
+    body.push_str("]}");
+    Response::json(code, body)
+}
+
 fn list_models(store: &ModelStore) -> Response {
     let mut body = String::from("[");
     for (i, (name, bytes, k, best_len)) in store.list().into_iter().enumerate() {
@@ -333,7 +372,8 @@ fn model_info(model: &KGraphModel) -> Response {
 /// `PUT /models/{name}` — fit on demand from a posted dataset (CSV rows or
 /// JSON array-of-arrays), `?k=` clusters (default 2), `?seed=`,
 /// `?n_lengths=`.
-fn fit_model(req: &Request, store: &ModelStore, name: &str) -> Response {
+fn fit_model(req: &Request, ctx: &RouteContext<'_>, name: &str) -> Response {
+    let store = ctx.store;
     let rows = match parse_series_batch(req) {
         Ok(rows) => rows,
         Err(resp) => return resp,
@@ -370,8 +410,12 @@ fn fit_model(req: &Request, store: &ModelStore, name: &str) -> Response {
         ..KGraphConfig::new(k)
     }
     .with_seed(seed as u64);
-    let model = KGraph::new(cfg).fit(&dataset);
-    let bytes = store.insert(name, Arc::new(model));
+    let model = Arc::new(KGraph::new(cfg).fit(&dataset));
+    let bytes = store.insert(name, Arc::clone(&model));
+    // Make the fresh model durable (initial snapshot + empty WAL) so a
+    // restart recovers it even before the first ingest.
+    ctx.durability
+        .persist_initial(name, &model, ctx.sessions.config());
     let mut body = String::from("{\"fitted\":");
     write_json_string(&mut body, name);
     body.push_str(&format!(",\"bytes\":{bytes}}}"));
@@ -661,6 +705,31 @@ fn ingest_endpoint(
     };
     let session = ctx.sessions.session_for(name, &model);
     let mut guard = session.lock().unwrap_or_else(|e| e.into_inner());
+    // Definitely-invalid appends are refused *before* the WAL sees them:
+    // a journaled record must be replayable.
+    if index > guard.open_series() {
+        return error_response(&TsError::InvalidParameter(format!(
+            "series index {index} out of range (session has {}; the next new index is {})",
+            guard.open_series(),
+            guard.open_series()
+        )));
+    }
+    // Journal first, apply second, both under the session lock — the WAL
+    // order is the apply order. A WAL failure refuses the ingest without
+    // touching the session, so the two can never silently diverge.
+    match ctx.durability.log_ingest(name, index as u32, &points) {
+        IngestLog::Logged { .. } => {}
+        IngestLog::Unavailable { reason } => {
+            return Response::error(503, &format!("ingest journal unavailable: {reason}"))
+                .with_header("retry-after", "1".to_string());
+        }
+        IngestLog::Degraded { reason } => {
+            return Response::error(
+                503,
+                &format!("model {name:?} is degraded read-only: {reason}"),
+            );
+        }
+    }
     match guard.append(index, &points) {
         Ok(outcome) => {
             if let Some(next) = &outcome.compacted {
@@ -668,6 +737,9 @@ fn ingest_endpoint(
                 // future readers; in-flight readers keep the old Arc.
                 ctx.store.insert(name, Arc::clone(next));
             }
+            // Snapshot on the refresh cadence (still under the session
+            // lock, so the pair is a consistent point-in-time image).
+            ctx.durability.after_append(name, &guard, outcome.refreshed);
             Response::json(
                 200,
                 format!(
@@ -775,6 +847,29 @@ fn metrics_endpoint(ctx: &RouteContext<'_>) -> Response {
         "graphserve_stream_sessions {}\n",
         ctx.sessions.len()
     ));
+    out.push_str(&format!(
+        "graphserve_durability_enabled {}\n",
+        u8::from(ctx.durability.enabled())
+    ));
+    let d = ctx.durability.counters();
+    for (name, value) in [
+        ("wal_records_written_total", &d.wal_records_written),
+        ("wal_records_replayed_total", &d.wal_records_replayed),
+        ("wal_records_truncated_total", &d.wal_records_truncated),
+        ("wal_syncs_total", &d.wal_syncs),
+        ("snapshots_written_total", &d.snapshots_written),
+        ("snapshot_failures_total", &d.snapshot_failures),
+        ("io_retries_total", &d.io_retries),
+        ("records_since_snapshot", &d.records_since_snapshot),
+        ("recovery_duration_ms", &d.recovery_duration_ms),
+        ("models_recovered", &d.models_recovered),
+        ("models_degraded", &d.models_degraded),
+    ] {
+        out.push_str(&format!(
+            "graphserve_{name} {}\n",
+            value.load(Ordering::Relaxed)
+        ));
+    }
     Response::text(200, out)
 }
 
@@ -804,12 +899,14 @@ mod tests {
         Request::read_from(&mut std::io::Cursor::new(bytes), 1 << 20).unwrap()
     }
 
-    /// Store + session registry + stats, so the tests below can keep the
-    /// old three-argument call shape via the local `handle` wrapper.
+    /// Store + session registry + stats + durability, so the tests below
+    /// can keep the old three-argument call shape via the local `handle`
+    /// wrapper.
     struct TestCtx {
         store: ModelStore,
         sessions: SessionRegistry,
         stats: ServerStats,
+        durability: Durability,
     }
 
     impl TestCtx {
@@ -828,6 +925,7 @@ mod tests {
                 store: &ctx.store,
                 sessions: &ctx.sessions,
                 stats: &ctx.stats,
+                durability: &ctx.durability,
             },
         )
     }
@@ -851,6 +949,7 @@ mod tests {
             store,
             sessions: SessionRegistry::new(streamfit::StreamConfig::default()),
             stats: ServerStats::default(),
+            durability: Durability::disabled(),
         }
     }
 

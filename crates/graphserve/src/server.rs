@@ -21,6 +21,7 @@
 //! every connection that was already admitted before exiting — in-flight
 //! requests complete, new ones are refused.
 
+use crate::durability::Durability;
 use crate::http::{HttpError, Request, Response};
 use crate::queue::{BoundedQueue, PushError};
 use crate::routes::{self, RouteContext};
@@ -72,8 +73,9 @@ impl Default for ServerConfig {
 
 /// Route labels tracked by the per-route request counters, in counter
 /// order. `routes::handle` classifies every request into exactly one.
-pub const ROUTE_LABELS: [&str; 16] = [
+pub const ROUTE_LABELS: [&str; 17] = [
     "health",
+    "healthz",
     "models",
     "model_info",
     "fit",
@@ -150,13 +152,27 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds and starts serving `store` in background threads.
+    /// Binds and starts serving `store` in background threads, without
+    /// durability (nothing is persisted across restarts).
     pub fn start(config: ServerConfig, store: Arc<ModelStore>) -> std::io::Result<Server> {
+        let sessions = Arc::new(SessionRegistry::new(config.stream.clone()));
+        Self::start_with(config, store, sessions, Arc::new(Durability::disabled()))
+    }
+
+    /// Binds and starts serving with an externally built session registry
+    /// and durability layer — the entry point used after startup recovery,
+    /// which installs recovered sessions into `sessions` before the first
+    /// request can race them.
+    pub fn start_with(
+        config: ServerConfig,
+        store: Arc<ModelStore>,
+        sessions: Arc<SessionRegistry>,
+        durability: Arc<Durability>,
+    ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
         let stats = Arc::new(ServerStats::default());
-        let sessions = Arc::new(SessionRegistry::new(config.stream.clone()));
         let shutting_down = Arc::new(AtomicBool::new(false));
 
         let accept_handle = {
@@ -180,11 +196,14 @@ impl Server {
             let stats = Arc::clone(&stats);
             let store = Arc::clone(&store);
             let sessions = Arc::clone(&sessions);
+            let durability = Arc::clone(&durability);
             let cfg = config.clone();
             worker_handles.push(
                 std::thread::Builder::new()
                     .name(format!("graphserve-worker-{i}"))
-                    .spawn(move || worker_loop(&queue, &stats, &store, &sessions, &cfg))?,
+                    .spawn(move || {
+                        worker_loop(&queue, &stats, &store, &sessions, &durability, &cfg)
+                    })?,
             );
         }
 
@@ -286,6 +305,7 @@ fn worker_loop(
     stats: &ServerStats,
     store: &ModelStore,
     sessions: &SessionRegistry,
+    durability: &Durability,
     cfg: &ServerConfig,
 ) {
     let mut reader = store.reader();
@@ -293,6 +313,7 @@ fn worker_loop(
         store,
         sessions,
         stats,
+        durability,
     };
     while let Some(mut stream) = queue.pop() {
         let _ = stream.set_read_timeout(Some(cfg.read_timeout));

@@ -1,0 +1,302 @@
+//! The `KGW1` per-model write-ahead ingest journal.
+//!
+//! Layout (little-endian throughout):
+//!
+//! ```text
+//! header:  b"KGW1" | u64 base_seq
+//! record:  u32 len | payload | u32 crc32(payload)
+//! payload: u64 seq | u32 series | u32 n_points | n_points × f64
+//! ```
+//!
+//! `base_seq` is the sequence number already covered by the snapshot the
+//! log was opened against; records carry `base_seq + 1, base_seq + 2, …`
+//! contiguously. Replay stops cleanly at the first record that is torn,
+//! fails its CRC, or breaks the sequence — everything before it is applied,
+//! everything after it is discarded, and nothing ever panics on arbitrary
+//! bytes. That is exactly the crash contract: a record is durable once its
+//! bytes and checksum hit the disk, and a crash mid-record loses only that
+//! record (which was never acknowledged if `sync_every == 1`).
+//!
+//! The writer acknowledges an append only after the record bytes are
+//! written and — on the group-commit cadence — fsync'd. On a failed append
+//! it rolls the file back to the previous record boundary so a retry
+//! cannot produce a duplicate; when even the rollback fails the WAL is
+//! poisoned and the caller must stop accepting writes for this model.
+
+use crate::fsio::{Fs, WalFile};
+use kgraph::serial::{put_f64, put_u64, Cursor};
+use std::io;
+use std::path::Path;
+use tscore::error::TsError;
+use tsgraph::checksum::crc32;
+
+/// Magic prefix of a WAL file.
+pub const WAL_MAGIC: &[u8; 4] = b"KGW1";
+
+/// Header length: magic + base sequence.
+pub const WAL_HEADER_LEN: u64 = 12;
+
+/// Hard cap on one record's payload — an ingest body is already bounded
+/// by the server's `max_body_bytes`, so anything larger is corruption,
+/// not data.
+const MAX_RECORD_LEN: u32 = 64 << 20;
+
+/// One logged ingest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalRecord {
+    /// Sequence number (contiguous from `base_seq + 1`).
+    pub seq: u64,
+    /// Session-local series index the points were appended to.
+    pub series: usize,
+    /// The appended points.
+    pub points: Vec<f64>,
+}
+
+/// Serialises one record (length prefix + payload + CRC trailer).
+pub fn encode_record(seq: u64, series: u32, points: &[f64]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(16 + points.len() * 8);
+    put_u64(&mut payload, seq);
+    payload.extend_from_slice(&series.to_le_bytes());
+    payload.extend_from_slice(&(points.len() as u32).to_le_bytes());
+    for &p in points {
+        put_f64(&mut payload, p);
+    }
+    let mut out = Vec::with_capacity(payload.len() + 8);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    let crc = crc32(&payload);
+    out.extend_from_slice(&payload);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Serialises the 12-byte WAL header.
+pub fn encode_header(base_seq: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(WAL_HEADER_LEN as usize);
+    out.extend_from_slice(WAL_MAGIC);
+    put_u64(&mut out, base_seq);
+    out
+}
+
+/// What a WAL replay recovered.
+#[derive(Debug, Clone)]
+pub struct WalReplay {
+    /// Sequence number covered by the snapshot this WAL extends.
+    pub base_seq: u64,
+    /// Valid records, in sequence order.
+    pub records: Vec<WalRecord>,
+    /// Byte offset of the end of the last valid record — the truncation
+    /// point for healing a torn tail.
+    pub valid_bytes: u64,
+    /// Whether trailing bytes after the valid prefix were discarded.
+    pub torn: bool,
+}
+
+/// Decodes a WAL image, stopping cleanly at the first torn, corrupt or
+/// out-of-sequence record.
+///
+/// # Errors
+///
+/// [`TsError::Parse`] only when the file cannot be a `KGW1` log at all
+/// (wrong magic with at least 4 bytes present). A header shorter than 12
+/// bytes whose bytes are a prefix of a valid header is treated as a torn
+/// creation — no records, nothing lost — because the header is the first
+/// thing written to a brand-new log and rewrites go through atomic
+/// renames.
+pub fn replay(bytes: &[u8]) -> Result<WalReplay, TsError> {
+    if bytes.len() >= 4 && &bytes[..4] != WAL_MAGIC {
+        return Err(TsError::Parse(format!(
+            "not a KGW1 write-ahead log (magic {:?})",
+            &bytes[..4]
+        )));
+    }
+    if (bytes.len() as u64) < WAL_HEADER_LEN {
+        return Ok(WalReplay {
+            base_seq: 0,
+            records: Vec::new(),
+            valid_bytes: bytes.len() as u64,
+            torn: !bytes.is_empty(),
+        });
+    }
+    let mut c = Cursor::new(bytes);
+    let _ = c.take(4);
+    let base_seq = c.u64().expect("header length checked");
+    let mut records = Vec::new();
+    let mut valid_bytes = WAL_HEADER_LEN;
+    let mut next_seq = base_seq + 1;
+    loop {
+        let record_start = c.pos();
+        if c.remaining() == 0 {
+            return Ok(WalReplay {
+                base_seq,
+                records,
+                valid_bytes,
+                torn: false,
+            });
+        }
+        let torn = |records: Vec<WalRecord>| {
+            Ok(WalReplay {
+                base_seq,
+                records,
+                valid_bytes,
+                torn: true,
+            })
+        };
+        if c.remaining() < 4 {
+            return torn(records);
+        }
+        let len_bytes = c.take(4).expect("checked remaining");
+        let len = u32::from_le_bytes(len_bytes.try_into().expect("4 bytes"));
+        if !(16..=MAX_RECORD_LEN).contains(&len) || c.remaining() < len as usize + 4 {
+            return torn(records);
+        }
+        let payload = c.take(len as usize).expect("checked remaining");
+        let crc_bytes = c.take(4).expect("checked remaining");
+        let stored = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+        if crc32(payload) != stored {
+            return torn(records);
+        }
+        let mut p = Cursor::new(payload);
+        let (seq, series, n_points) = match (|| {
+            let seq = p.u64()?;
+            let series = u32::from_le_bytes(
+                p.take(4)?
+                    .try_into()
+                    .map_err(|_| TsError::Parse("short".into()))?,
+            );
+            let n = u32::from_le_bytes(
+                p.take(4)?
+                    .try_into()
+                    .map_err(|_| TsError::Parse("short".into()))?,
+            );
+            Ok::<_, TsError>((seq, series, n))
+        })() {
+            Ok(t) => t,
+            Err(_) => return torn(records),
+        };
+        if seq != next_seq || p.remaining() != n_points as usize * 8 {
+            return torn(records);
+        }
+        let points = match (0..n_points)
+            .map(|_| p.f64())
+            .collect::<Result<Vec<_>, _>>()
+        {
+            Ok(points) => points,
+            Err(_) => return torn(records),
+        };
+        records.push(WalRecord {
+            seq,
+            series: series as usize,
+            points,
+        });
+        next_seq += 1;
+        valid_bytes = record_start as u64 + 4 + len as u64 + 4;
+    }
+}
+
+/// An append error, flagging whether the log was left in an unknown state.
+#[derive(Debug)]
+pub struct WalError {
+    /// The underlying I/O error.
+    pub io: io::Error,
+    /// When true, the failed bytes could not be rolled back: the on-disk
+    /// tail is unknown and the WAL must not accept further appends.
+    pub poisoned: bool,
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.poisoned {
+            write!(f, "WAL poisoned (rollback failed): {}", self.io)
+        } else {
+            write!(f, "WAL append failed (rolled back): {}", self.io)
+        }
+    }
+}
+
+/// The per-model WAL writer.
+pub struct Wal {
+    file: Box<dyn WalFile>,
+    /// Length up to the end of the last fully-written record.
+    len: u64,
+    next_seq: u64,
+    sync_every: u64,
+    appends_since_sync: u64,
+}
+
+impl Wal {
+    /// Creates a fresh log at `path` (truncating any predecessor via an
+    /// atomic rename) with `base_seq` covered by the current snapshot.
+    /// The header is synced before the constructor returns.
+    pub fn create(fs: &dyn Fs, path: &Path, base_seq: u64, sync_every: u64) -> io::Result<Wal> {
+        let tmp = path.with_extension("tmp");
+        fs.write(&tmp, &encode_header(base_seq))?;
+        fs.rename(&tmp, path)?;
+        if let Some(dir) = path.parent() {
+            fs.sync_dir(dir)?;
+        }
+        let mut file = fs.open_wal(path)?;
+        let len = file.len()?;
+        Ok(Wal {
+            file,
+            len,
+            next_seq: base_seq + 1,
+            sync_every: sync_every.max(1),
+            appends_since_sync: 0,
+        })
+    }
+
+    /// The sequence number the next append will get.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Appends one ingest record and group-commits on the configured
+    /// cadence. Returns the record's sequence number and whether this
+    /// append triggered an fsync.
+    ///
+    /// # Errors
+    ///
+    /// [`WalError`] with `poisoned == false` when the append failed but the
+    /// file was rolled back to the previous record boundary (the caller may
+    /// retry); `poisoned == true` when the rollback itself failed and the
+    /// log must be retired.
+    pub fn append(&mut self, series: u32, points: &[f64]) -> Result<(u64, bool), WalError> {
+        let seq = self.next_seq;
+        let record = encode_record(seq, series, points);
+        let result = self.file.append(&record).and_then(|()| {
+            if self.appends_since_sync + 1 >= self.sync_every {
+                self.file.sync()?;
+                Ok(true)
+            } else {
+                Ok(false)
+            }
+        });
+        match result {
+            Ok(synced) => {
+                self.appends_since_sync = if synced {
+                    0
+                } else {
+                    self.appends_since_sync + 1
+                };
+                self.len += record.len() as u64;
+                self.next_seq += 1;
+                Ok((seq, synced))
+            }
+            Err(io) => {
+                // Undo the partial record so a retry cannot duplicate it.
+                let rolled_back = self.file.set_len(self.len).is_ok();
+                Err(WalError {
+                    io,
+                    poisoned: !rolled_back,
+                })
+            }
+        }
+    }
+
+    /// Forces an fsync now, resetting the group-commit countdown.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.file.sync()?;
+        self.appends_since_sync = 0;
+        Ok(())
+    }
+}

@@ -1,0 +1,668 @@
+//! Fault-injection tests for the durability layer: every fault a real
+//! disk produces — torn writes, lying short writes, failing fsyncs,
+//! `ENOSPC`, bit rot — must end in a *served* state: a retryable `503`, a
+//! degraded read-only model, or a clean recovery of the surviving prefix.
+//! Never a panic, never a silent divergence between the log and the
+//! session.
+//!
+//! The tests drive the real route handlers through [`routes::handle`]
+//! with a [`Durability`] built over [`FailFs`], so the code path is
+//! byte-for-byte the production one; only the filesystem lies.
+
+use graphserve::durability::{Durability, DurabilityConfig};
+use graphserve::fsio::{FailFs, FaultPlan, StdFs};
+use graphserve::http::{Request, Response};
+use graphserve::recovery::recover;
+use graphserve::routes::{self, RouteContext};
+use graphserve::wal;
+use graphserve::{ModelStore, ServerStats};
+use kgraph::pipeline::KGraphModel;
+use kgraph::{KGraph, KGraphConfig};
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use streamfit::{SessionRegistry, StreamConfig};
+use tscore::{Dataset, DatasetKind, TimeSeries};
+
+// ---------------------------------------------------------------------------
+// Harness
+// ---------------------------------------------------------------------------
+
+/// A scratch directory removed on drop.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let path =
+            std::env::temp_dir().join(format!("graphserve-faults-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path).expect("create temp dir");
+        TempDir(path)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn demo_model() -> Arc<KGraphModel> {
+    let series: Vec<TimeSeries> = (0..8)
+        .map(|p| TimeSeries::new((0..80).map(|i| ((i + p) as f64 * 0.3).sin()).collect()))
+        .collect();
+    let ds = Dataset::new("demo", DatasetKind::Simulated, series);
+    let cfg = KGraphConfig {
+        n_lengths: 1,
+        psi: 10,
+        pca_sample: 300,
+        n_init: 2,
+        ..KGraphConfig::new(2)
+    }
+    .with_lengths(vec![16]);
+    Arc::new(KGraph::new(cfg).fit(&ds))
+}
+
+fn stream_config() -> StreamConfig {
+    // Refresh on every ingest so snapshot cadences are easy to trigger.
+    StreamConfig {
+        refresh_every: 0,
+        compact_every: 2,
+        context: 3,
+    }
+}
+
+fn durability_config(dir: &Path, snapshot_every: u64) -> DurabilityConfig {
+    DurabilityConfig {
+        state_dir: dir.to_path_buf(),
+        wal_sync_every: 1,
+        snapshot_every,
+        retry_backoff: std::time::Duration::from_millis(1),
+        ..DurabilityConfig::default()
+    }
+}
+
+/// The server's request-handling state, minus the sockets: the tests call
+/// the same `routes::handle` the worker threads do.
+struct Harness {
+    store: ModelStore,
+    sessions: SessionRegistry,
+    stats: ServerStats,
+    durability: Durability,
+}
+
+impl Harness {
+    /// Builds a store with one model `demo` registered with `durability`.
+    fn new(durability: Durability) -> Harness {
+        let store = ModelStore::new(0);
+        let model = demo_model();
+        store.insert("demo", Arc::clone(&model));
+        let sessions = SessionRegistry::new(stream_config());
+        durability.persist_initial("demo", &model, sessions.config());
+        Harness {
+            store,
+            sessions,
+            stats: ServerStats::default(),
+            durability,
+        }
+    }
+
+    /// Like [`Harness::new`] but without registering the model — the
+    /// recovery tests populate the store themselves.
+    fn empty(durability: Durability) -> Harness {
+        Harness {
+            store: ModelStore::new(0),
+            sessions: SessionRegistry::new(stream_config()),
+            stats: ServerStats::default(),
+            durability,
+        }
+    }
+
+    fn handle(&self, method: &str, target: &str, body: &str) -> Response {
+        let raw = format!(
+            "{method} {target} HTTP/1.1\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        let req = Request::read_from(&mut std::io::Cursor::new(raw.into_bytes()), 1 << 20)
+            .expect("well-formed test request");
+        let mut reader = self.store.reader();
+        routes::handle(
+            &req,
+            &mut reader,
+            &RouteContext {
+                store: &self.store,
+                sessions: &self.sessions,
+                stats: &self.stats,
+                durability: &self.durability,
+            },
+        )
+    }
+}
+
+fn body_text(resp: &Response) -> &str {
+    std::str::from_utf8(&resp.body).unwrap()
+}
+
+fn has_retry_after(resp: &Response) -> bool {
+    resp.headers
+        .iter()
+        .any(|(name, _)| name.eq_ignore_ascii_case("retry-after"))
+}
+
+/// One 8-point ingest record, deterministic in `i`.
+fn ingest_body(i: usize) -> String {
+    let points: Vec<String> = (0..8)
+        .map(|j| (((i * 8 + j) as f64) * 0.3).sin().to_string())
+        .collect();
+    format!("{{\"series\":0,\"points\":[{}]}}", points.join(","))
+}
+
+fn probe_series() -> String {
+    let values: Vec<String> = (0..80)
+        .map(|i| ((i as f64) * 0.3).sin().to_string())
+        .collect();
+    format!("[{}]", values.join(","))
+}
+
+/// Runs registration once over a fault-free [`FailFs`] and reports how
+/// many bytes and fsyncs it costs, so fault thresholds can be aimed at
+/// the first WAL append that follows.
+fn setup_cost() -> (u64, u64) {
+    let dir = TempDir::new("measure");
+    let fs = FailFs::new(Arc::new(StdFs), FaultPlan::default());
+    let durability =
+        Durability::with_fs(durability_config(dir.path(), 1_000), Arc::new(fs.clone()));
+    let _ = Harness::new(durability);
+    (fs.bytes_written(), fs.syncs())
+}
+
+// ---------------------------------------------------------------------------
+// Write faults: refused retryably, reads keep serving
+// ---------------------------------------------------------------------------
+
+/// Injects `plan` aimed at the first WAL append and asserts the ingest is
+/// refused with `503` + `Retry-After` while reads and health stay intact.
+fn assert_wal_write_fault_is_retryable(tag: &str, plan: FaultPlan) {
+    let dir = TempDir::new(tag);
+    let durability = Durability::with_fs(
+        durability_config(dir.path(), 1_000),
+        Arc::new(FailFs::new(Arc::new(StdFs), plan)),
+    );
+    let h = Harness::new(durability);
+
+    let resp = h.handle("POST", "/models/demo/ingest", &ingest_body(0));
+    assert_eq!(resp.status, 503, "{}", body_text(&resp));
+    assert!(
+        body_text(&resp).contains("ingest journal unavailable"),
+        "{}",
+        body_text(&resp)
+    );
+    assert!(
+        has_retry_after(&resp),
+        "retryable refusal carries Retry-After"
+    );
+
+    // The rollback succeeded: not degraded, nothing acknowledged, and the
+    // session was never touched (journal first, apply second).
+    let resp = h.handle("GET", "/healthz", "");
+    assert_eq!(resp.status, 200);
+    assert!(
+        body_text(&resp).contains("\"status\":\"ok\""),
+        "{}",
+        body_text(&resp)
+    );
+    let resp = h.handle("GET", "/models/demo/stream-status", "");
+    assert!(
+        body_text(&resp).contains("\"points_total\":0")
+            || body_text(&resp).contains("\"active\":false"),
+        "no partial append: {}",
+        body_text(&resp)
+    );
+    assert_eq!(
+        h.durability
+            .counters()
+            .wal_records_written
+            .load(Ordering::Relaxed),
+        0,
+        "a failed append is never acknowledged"
+    );
+
+    // Reads are untouched.
+    let resp = h.handle("POST", "/models/demo/score?context=3", &probe_series());
+    assert_eq!(resp.status, 200, "{}", body_text(&resp));
+}
+
+#[test]
+fn torn_wal_write_refuses_ingest_retryably() {
+    let (bytes, _) = setup_cost();
+    assert_wal_write_fault_is_retryable(
+        "torn",
+        FaultPlan {
+            torn_write_after: Some(bytes),
+            ..FaultPlan::default()
+        },
+    );
+}
+
+#[test]
+fn enospc_refuses_ingest_retryably() {
+    let (bytes, _) = setup_cost();
+    assert_wal_write_fault_is_retryable(
+        "enospc",
+        FaultPlan {
+            enospc_after: Some(bytes),
+            ..FaultPlan::default()
+        },
+    );
+}
+
+#[test]
+fn fsync_failure_refuses_ingest_retryably() {
+    let (_, syncs) = setup_cost();
+    assert_wal_write_fault_is_retryable(
+        "fsync",
+        FaultPlan {
+            fail_syncs_after: Some(syncs),
+            ..FaultPlan::default()
+        },
+    );
+}
+
+#[test]
+fn failed_rollback_degrades_the_model_read_only() {
+    let (bytes, _) = setup_cost();
+    let dir = TempDir::new("poisoned");
+    let durability = Durability::with_fs(
+        durability_config(dir.path(), 1_000),
+        Arc::new(FailFs::new(
+            Arc::new(StdFs),
+            FaultPlan {
+                torn_write_after: Some(bytes),
+                fail_set_len: true,
+                ..FaultPlan::default()
+            },
+        )),
+    );
+    let h = Harness::new(durability);
+
+    // The append fails AND the rollback fails: the on-disk tail is
+    // unknown, so the model must stop taking writes.
+    let resp = h.handle("POST", "/models/demo/ingest", &ingest_body(0));
+    assert_eq!(resp.status, 503, "{}", body_text(&resp));
+    assert!(
+        body_text(&resp).contains("degraded"),
+        "{}",
+        body_text(&resp)
+    );
+    assert!(
+        !has_retry_after(&resp),
+        "degradation is not retryable without operator action"
+    );
+
+    // Sticky: the next ingest is refused up front.
+    let resp = h.handle("POST", "/models/demo/ingest", &ingest_body(1));
+    assert_eq!(resp.status, 503);
+    assert!(
+        body_text(&resp).contains("degraded read-only"),
+        "{}",
+        body_text(&resp)
+    );
+
+    // Surfaced via /healthz and /metrics; reads still serve.
+    let resp = h.handle("GET", "/healthz", "");
+    assert_eq!(resp.status, 200, "degraded still serves reads");
+    assert!(
+        body_text(&resp).contains("\"status\":\"degraded\""),
+        "{}",
+        body_text(&resp)
+    );
+    assert!(
+        body_text(&resp).contains("\"model\":\"demo\""),
+        "{}",
+        body_text(&resp)
+    );
+    let resp = h.handle("GET", "/metrics", "");
+    assert!(
+        body_text(&resp).contains("graphserve_models_degraded 1"),
+        "{}",
+        body_text(&resp)
+    );
+    let resp = h.handle("POST", "/models/demo/score?context=3", &probe_series());
+    assert_eq!(resp.status, 200, "{}", body_text(&resp));
+}
+
+// ---------------------------------------------------------------------------
+// Silent faults and corruption: caught at recovery, never a panic
+// ---------------------------------------------------------------------------
+
+#[test]
+fn lying_short_write_is_surfaced_at_recovery() {
+    let (bytes, _) = setup_cost();
+    let dir = TempDir::new("short");
+    // A disk that silently drops everything 20 bytes into the first WAL
+    // record but reports success: the server acknowledges ingests it
+    // cannot actually keep — indistinguishable from a crash before sync.
+    let durability = Durability::with_fs(
+        durability_config(dir.path(), 1_000),
+        Arc::new(FailFs::new(
+            Arc::new(StdFs),
+            FaultPlan {
+                short_write_after: Some(bytes + 20),
+                ..FaultPlan::default()
+            },
+        )),
+    );
+    let h = Harness::new(durability);
+    let mut acked = 0;
+    for i in 0..3 {
+        if h.handle("POST", "/models/demo/ingest", &ingest_body(i))
+            .status
+            == 200
+        {
+            acked += 1;
+        }
+    }
+    assert!(acked > 0, "the lying disk acknowledges ingests");
+    drop(h);
+
+    // Restart against the same directory with an honest filesystem:
+    // recovery must stop cleanly at the last whole record (here: none)
+    // and surface the truncation, not panic or fabricate points.
+    let durability = Durability::new(durability_config(dir.path(), 1_000));
+    let h = Harness::empty(durability);
+    let report = recover(&h.durability, &h.store, &h.sessions);
+    assert_eq!(report.recovered, vec!["demo".to_string()], "{report:?}");
+    assert_eq!(report.replayed_records, 0, "the torn tail is discarded");
+    assert!(
+        h.durability
+            .counters()
+            .wal_records_truncated
+            .load(Ordering::Relaxed)
+            > 0,
+        "the loss is counted, not silent"
+    );
+    let resp = h.handle("GET", "/healthz", "");
+    assert!(
+        body_text(&resp).contains("\"status\":\"ok\""),
+        "{}",
+        body_text(&resp)
+    );
+    let resp = h.handle("POST", "/models/demo/score?context=3", &probe_series());
+    assert_eq!(resp.status, 200, "{}", body_text(&resp));
+}
+
+#[test]
+fn wal_bit_flip_on_disk_replays_the_clean_prefix() {
+    let dir = TempDir::new("walflip");
+    let durability = Durability::new(durability_config(dir.path(), 1_000));
+    let h = Harness::new(durability);
+    for i in 0..4 {
+        let resp = h.handle("POST", "/models/demo/ingest", &ingest_body(i));
+        assert_eq!(resp.status, 200, "{}", body_text(&resp));
+    }
+    drop(h);
+
+    // Flip one bit in the last record's payload.
+    let wal_path = dir.path().join("demo").join("wal.log");
+    let mut bytes = std::fs::read(&wal_path).expect("wal exists");
+    let n = bytes.len();
+    bytes[n - 10] ^= 0x04;
+    std::fs::write(&wal_path, &bytes).expect("rewrite wal");
+
+    let durability = Durability::new(durability_config(dir.path(), 1_000));
+    let h = Harness::empty(durability);
+    let report = recover(&h.durability, &h.store, &h.sessions);
+    assert_eq!(report.recovered, vec!["demo".to_string()], "{report:?}");
+    assert_eq!(
+        report.replayed_records, 3,
+        "records before the flip survive"
+    );
+    let resp = h.handle("GET", "/models/demo/stream-status", "");
+    assert!(
+        body_text(&resp).contains("\"points_total\":24"),
+        "exactly the clean prefix, no partial record: {}",
+        body_text(&resp)
+    );
+    // Writable again: the healing snapshot retired the torn tail.
+    let resp = h.handle("POST", "/models/demo/ingest", &ingest_body(4));
+    assert_eq!(resp.status, 200, "{}", body_text(&resp));
+}
+
+#[test]
+fn corrupt_newest_snapshot_with_newer_wal_degrades_read_only() {
+    let dir = TempDir::new("snapgap");
+    // Snapshot on every refresh: each acknowledged ingest advances the
+    // snapshot generation and restarts the WAL past it.
+    let durability = Durability::new(durability_config(dir.path(), 0));
+    let h = Harness::new(durability);
+    for i in 0..2 {
+        let resp = h.handle("POST", "/models/demo/ingest", &ingest_body(i));
+        assert_eq!(resp.status, 200, "{}", body_text(&resp));
+    }
+    drop(h);
+
+    // Rot both files of the newest snapshot generation. The WAL's
+    // base_seq now points past every readable snapshot: acknowledged
+    // records are unreachable, so the model must refuse writes instead of
+    // silently diverging.
+    let model_dir = dir.path().join("demo");
+    let mut snaps: Vec<PathBuf> = std::fs::read_dir(&model_dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("snap-"))
+        })
+        .collect();
+    snaps.sort();
+    let newest: Vec<PathBuf> = snaps.split_off(snaps.len() - 2);
+    for path in &newest {
+        let mut bytes = std::fs::read(path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(path, &bytes).unwrap();
+    }
+
+    let durability = Durability::new(durability_config(dir.path(), 0));
+    let h = Harness::empty(durability);
+    let report = recover(&h.durability, &h.store, &h.sessions);
+    assert_eq!(report.degraded.len(), 1, "{report:?}");
+    assert!(report.recovered.is_empty(), "{report:?}");
+
+    // Served read-only: reads 200, writes 503, health says degraded.
+    let resp = h.handle("POST", "/models/demo/score?context=3", &probe_series());
+    assert_eq!(resp.status, 200, "{}", body_text(&resp));
+    let resp = h.handle("POST", "/models/demo/ingest", &ingest_body(9));
+    assert_eq!(resp.status, 503, "{}", body_text(&resp));
+    assert!(
+        body_text(&resp).contains("degraded read-only"),
+        "{}",
+        body_text(&resp)
+    );
+    let resp = h.handle("GET", "/healthz", "");
+    assert_eq!(resp.status, 200);
+    assert!(
+        body_text(&resp).contains("\"status\":\"degraded\""),
+        "{}",
+        body_text(&resp)
+    );
+}
+
+#[test]
+fn bit_rot_on_every_read_never_panics_recovery() {
+    let dir = TempDir::new("rot");
+    let durability = Durability::new(durability_config(dir.path(), 1_000));
+    let h = Harness::new(durability);
+    for i in 0..2 {
+        assert_eq!(
+            h.handle("POST", "/models/demo/ingest", &ingest_body(i))
+                .status,
+            200
+        );
+    }
+    drop(h);
+
+    // Every read comes back with byte 40 flipped — model, session state
+    // and WAL alike. Nothing is recoverable, but recovery must say so
+    // explicitly instead of panicking or serving rotten data.
+    let durability = Durability::with_fs(
+        durability_config(dir.path(), 1_000),
+        Arc::new(FailFs::new(
+            Arc::new(StdFs),
+            FaultPlan {
+                flip_on_read: Some((40, 0x20)),
+                ..FaultPlan::default()
+            },
+        )),
+    );
+    let h = Harness::empty(durability);
+    let report = recover(&h.durability, &h.store, &h.sessions);
+    assert!(report.recovered.is_empty(), "{report:?}");
+    assert_eq!(
+        report.degraded.len() + report.failed.len(),
+        1,
+        "the rot is surfaced, not swallowed: {report:?}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Ingest error mapping (regression)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn ingest_error_mapping_is_stable() {
+    let dir = TempDir::new("mapping");
+    let durability = Durability::new(durability_config(dir.path(), 1_000));
+    let h = Harness::new(durability);
+
+    // Malformed bodies blame the client: 400, nothing journaled.
+    for bad in ["{not json", "{\"series\":0,\"points\":[\"x\"]}", "", "[]"] {
+        let resp = h.handle("POST", "/models/demo/ingest", bad);
+        assert_eq!(resp.status, 400, "{bad:?} → {}", body_text(&resp));
+    }
+    // A series index that cannot be appended is refused before the WAL
+    // sees it: 422, still nothing journaled.
+    let resp = h.handle(
+        "POST",
+        "/models/demo/ingest",
+        "{\"series\":7,\"points\":[1,2]}",
+    );
+    assert_eq!(resp.status, 422, "{}", body_text(&resp));
+    assert_eq!(
+        h.durability
+            .counters()
+            .wal_records_written
+            .load(Ordering::Relaxed),
+        0,
+        "invalid requests never reach the journal"
+    );
+
+    // A valid ingest is journaled and applied.
+    let resp = h.handle("POST", "/models/demo/ingest", &ingest_body(0));
+    assert_eq!(resp.status, 200, "{}", body_text(&resp));
+    assert_eq!(
+        h.durability
+            .counters()
+            .wal_records_written
+            .load(Ordering::Relaxed),
+        1
+    );
+}
+
+// ---------------------------------------------------------------------------
+// WAL replay properties: arbitrary truncation and bit flips
+// ---------------------------------------------------------------------------
+
+/// Builds a valid WAL image plus its decoded records.
+fn build_wal(base_seq: u64, specs: &[(u32, Vec<f64>)]) -> (Vec<u8>, Vec<wal::WalRecord>) {
+    let mut bytes = wal::encode_header(base_seq);
+    let mut records = Vec::new();
+    for (i, (series, points)) in specs.iter().enumerate() {
+        let seq = base_seq + 1 + i as u64;
+        bytes.extend_from_slice(&wal::encode_record(seq, *series, points));
+        records.push(wal::WalRecord {
+            seq,
+            series: *series as usize,
+            points: points.clone(),
+        });
+    }
+    (bytes, records)
+}
+
+/// `got` must be a prefix of `all` — replay may only ever lose a suffix.
+fn assert_prefix(got: &[wal::WalRecord], all: &[wal::WalRecord]) -> Result<(), TestCaseError> {
+    prop_assert!(got.len() <= all.len(), "more records than were written");
+    for (g, a) in got.iter().zip(all) {
+        prop_assert_eq!(g, a, "replayed record diverges from what was logged");
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn truncated_wal_replays_to_a_clean_prefix(
+        (base_seq, specs, cut_frac) in (
+            0u64..1_000,
+            proptest::collection::vec((0u32..4, proptest::collection::vec(-1.0..1.0f64, 0..6)), 0..8),
+            0.0..1.0f64,
+        )
+    ) {
+        let (bytes, records) = build_wal(base_seq, &specs);
+        let cut = ((bytes.len() + 1) as f64 * cut_frac) as usize;
+        let cut = cut.min(bytes.len());
+        let rep = match wal::replay(&bytes[..cut]) {
+            Ok(rep) => rep,
+            // Truncation preserves the magic prefix, so a parse error can
+            // only mean the cut landed inside the magic itself.
+            Err(_) => {
+                prop_assert!(cut < 4, "parse error on a magic-intact prefix");
+                return Ok(());
+            }
+        };
+        assert_prefix(&rep.records, &records)?;
+        if cut == bytes.len() {
+            prop_assert_eq!(rep.records.len(), records.len(), "whole log replays whole");
+            prop_assert!(!rep.torn, "an intact log is not torn");
+        }
+        if cut >= 12 {
+            prop_assert_eq!(rep.base_seq, base_seq);
+            prop_assert!(rep.valid_bytes <= cut as u64);
+        }
+    }
+
+    #[test]
+    fn bit_flipped_wal_never_panics_and_never_invents_records(
+        (base_seq, specs, pos_frac, bit) in (
+            0u64..1_000,
+            proptest::collection::vec((0u32..4, proptest::collection::vec(-1.0..1.0f64, 0..6)), 1..8),
+            0.0..1.0f64,
+            0u32..8,
+        )
+    ) {
+        let (mut bytes, records) = build_wal(base_seq, &specs);
+        let pos = ((bytes.len() as f64) * pos_frac) as usize;
+        let pos = pos.min(bytes.len() - 1);
+        bytes[pos] ^= 1 << bit;
+        match wal::replay(&bytes) {
+            // Flips inside the magic are rejected wholesale.
+            Err(_) => prop_assert!(pos < 4, "parse error from a flip at {pos}"),
+            Ok(rep) => {
+                assert_prefix(&rep.records, &records)?;
+                // A flip strictly after the last valid byte cannot shrink
+                // the valid prefix; one inside it must.
+                prop_assert!(
+                    rep.records.len() < records.len() || pos as u64 >= rep.valid_bytes,
+                    "a corrupt record at {pos} survived replay"
+                );
+            }
+        }
+    }
+}

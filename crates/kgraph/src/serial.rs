@@ -51,41 +51,74 @@ const DELTA_MAGIC: &[u8; 4] = b"KGD1";
 // ---------------------------------------------------------------------------
 // Primitive writer / reader
 // ---------------------------------------------------------------------------
+//
+// Public: the streaming persistence layers (streamfit's `KGS1` session
+// state, graphserve's `KGW1` write-ahead log) reuse the same primitives so
+// every on-disk format in the system shares one bounds-checked decoder.
 
-fn put_u64(out: &mut Vec<u8>, v: u64) {
+/// Appends a little-endian `u64`.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_f64(out: &mut Vec<u8>, v: f64) {
+/// Appends a little-endian `f64`.
+pub fn put_f64(out: &mut Vec<u8>, v: f64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_f64s(out: &mut Vec<u8>, vs: &[f64]) {
+/// Appends a length-prefixed `f64` slice.
+pub fn put_f64s(out: &mut Vec<u8>, vs: &[f64]) {
     put_u64(out, vs.len() as u64);
     for &v in vs {
         put_f64(out, v);
     }
 }
 
-fn put_u64s(out: &mut Vec<u8>, vs: impl ExactSizeIterator<Item = u64>) {
+/// Appends a length-prefixed `u64` sequence.
+pub fn put_u64s(out: &mut Vec<u8>, vs: impl ExactSizeIterator<Item = u64>) {
     put_u64(out, vs.len() as u64);
     for v in vs {
         put_u64(out, v);
     }
 }
 
+/// Fallible fixed-width conversion: corrupt inputs become [`TsError`]
+/// corruption reports, never a panic — the decoder must survive arbitrary
+/// bytes.
+fn array<const N: usize>(bytes: &[u8], pos: usize) -> Result<[u8; N], TsError> {
+    bytes
+        .try_into()
+        .map_err(|_| TsError::Parse(format!("corrupt fixed-width field at byte {pos}")))
+}
+
 /// Bounds-checked little-endian reader over a byte slice.
-struct Cursor<'a> {
+///
+/// Every accessor returns [`TsError::Parse`] on truncation or overflow;
+/// length prefixes are validated against the bytes actually remaining so a
+/// corrupt prefix cannot drive an out-of-memory allocation.
+pub struct Cursor<'a> {
     bytes: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Cursor<'a> {
-    fn new(bytes: &'a [u8]) -> Self {
+    /// A cursor at the start of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
         Cursor { bytes, pos: 0 }
     }
 
-    fn take(&mut self, n: usize) -> Result<&'a [u8], TsError> {
+    /// Current read position.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Consumes and returns the next `n` bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], TsError> {
         let end = self
             .pos
             .checked_add(n)
@@ -96,22 +129,26 @@ impl<'a> Cursor<'a> {
         Ok(slice)
     }
 
-    fn u8(&mut self) -> Result<u8, TsError> {
+    /// Next byte.
+    pub fn u8(&mut self) -> Result<u8, TsError> {
         Ok(self.take(1)?[0])
     }
 
-    fn u64(&mut self) -> Result<u64, TsError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    /// Next little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, TsError> {
+        let pos = self.pos;
+        Ok(u64::from_le_bytes(array(self.take(8)?, pos)?))
     }
 
-    fn usize(&mut self) -> Result<usize, TsError> {
+    /// Next `u64`, converted to `usize`.
+    pub fn usize(&mut self) -> Result<usize, TsError> {
         let v = self.u64()?;
         usize::try_from(v).map_err(|_| TsError::Parse(format!("length {v} overflows usize")))
     }
 
     /// A length prefix about to drive an allocation; bounded by the bytes
     /// actually remaining so corrupt prefixes cannot OOM the reader.
-    fn len(&mut self, elem_bytes: usize) -> Result<usize, TsError> {
+    pub fn len(&mut self, elem_bytes: usize) -> Result<usize, TsError> {
         let n = self.usize()?;
         let remaining = self.bytes.len() - self.pos;
         if n.saturating_mul(elem_bytes.max(1)) > remaining {
@@ -122,21 +159,26 @@ impl<'a> Cursor<'a> {
         Ok(n)
     }
 
-    fn f64(&mut self) -> Result<f64, TsError> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    /// Next little-endian `f64`.
+    pub fn f64(&mut self) -> Result<f64, TsError> {
+        let pos = self.pos;
+        Ok(f64::from_le_bytes(array(self.take(8)?, pos)?))
     }
 
-    fn f64s(&mut self) -> Result<Vec<f64>, TsError> {
+    /// Next length-prefixed `f64` vector.
+    pub fn f64s(&mut self) -> Result<Vec<f64>, TsError> {
         let n = self.len(8)?;
         (0..n).map(|_| self.f64()).collect()
     }
 
-    fn u64s(&mut self) -> Result<Vec<u64>, TsError> {
+    /// Next length-prefixed `u64` vector.
+    pub fn u64s(&mut self) -> Result<Vec<u64>, TsError> {
         let n = self.len(8)?;
         (0..n).map(|_| self.u64()).collect()
     }
 
-    fn usizes(&mut self) -> Result<Vec<usize>, TsError> {
+    /// Next length-prefixed `usize` vector.
+    pub fn usizes(&mut self) -> Result<Vec<usize>, TsError> {
         self.u64s()?
             .into_iter()
             .map(|v| {
@@ -359,7 +401,11 @@ pub fn write_model(model: &KGraphModel) -> Vec<u8> {
 
 /// Strips and verifies the CRC-32 trailer of a checksummed blob, returning
 /// the payload (magic included). `kind` names the format in errors.
-fn verify_trailer<'a>(bytes: &'a [u8], kind: &str) -> Result<&'a [u8], TsError> {
+///
+/// Public: every checksummed format in the system (`KGM2`, `KGD1`,
+/// streamfit's `KGS1`, graphserve's snapshots) funnels through this one
+/// verifier.
+pub fn verify_trailer<'a>(bytes: &'a [u8], kind: &str) -> Result<&'a [u8], TsError> {
     if bytes.len() < 8 {
         return Err(TsError::Parse(format!(
             "{kind} file truncated ({} bytes)",
@@ -367,7 +413,7 @@ fn verify_trailer<'a>(bytes: &'a [u8], kind: &str) -> Result<&'a [u8], TsError> 
         )));
     }
     let (payload, trailer) = bytes.split_at(bytes.len() - 4);
-    let expected = u32::from_le_bytes(trailer.try_into().expect("4 bytes"));
+    let expected = u32::from_le_bytes(array(trailer, payload.len())?);
     let actual = crc32(payload);
     if actual != expected {
         return Err(TsError::Parse(format!(
@@ -713,6 +759,52 @@ mod tests {
         assert!(matches!(read_delta_state(&bad), Err(TsError::Parse(_))));
         for cut in [0, 3, bytes.len() - 1] {
             assert!(read_delta_state(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn delta_state_truncated_at_every_prefix_is_an_error() {
+        use tsgraph::delta::DeltaGraph;
+        use tsgraph::NodeId;
+        let mut a: DeltaGraph<f64> = DeltaGraph::new(7);
+        a.ingest(
+            (0..6).map(|i| (NodeId(i % 7), NodeId((i * 3) % 7), i as f64)),
+            |acc, w| *acc += w,
+        );
+        let bytes = write_delta_state(&[a, DeltaGraph::new(2)]);
+        // Every proper prefix must be rejected cleanly — a torn write can
+        // leave the file cut at any byte.
+        for cut in 0..bytes.len() {
+            assert!(
+                matches!(read_delta_state(&bytes[..cut]), Err(TsError::Parse(_))),
+                "cut at {cut} must be a parse error"
+            );
+        }
+    }
+
+    #[test]
+    fn delta_state_bit_flips_are_caught_by_the_checksum() {
+        use tsgraph::delta::DeltaGraph;
+        use tsgraph::NodeId;
+        let mut a: DeltaGraph<f64> = DeltaGraph::new(4);
+        a.ingest(
+            [(NodeId(0), NodeId(3), 1.5), (NodeId(2), NodeId(1), -0.5)],
+            |acc, w| *acc += w,
+        );
+        let bytes = write_delta_state(&[a]);
+        assert_eq!(&bytes[..4], b"KGD1");
+        for pos in 0..bytes.len() {
+            for bit in [0x01u8, 0x80] {
+                let mut bad = bytes.clone();
+                bad[pos] ^= bit;
+                match read_delta_state(&bad) {
+                    Err(TsError::Parse(msg)) => assert!(
+                        msg.contains("checksum") || msg.contains("magic") || pos < 4,
+                        "flip at {pos}: unexpected message {msg}"
+                    ),
+                    other => panic!("flip bit {bit:#x} at {pos} must fail, got {other:?}"),
+                }
+            }
         }
     }
 

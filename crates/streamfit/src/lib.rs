@@ -27,9 +27,11 @@
 //! open series, cadences, per-layer deltas and the [`SessionRegistry`]
 //! that `graphserve`'s ingest endpoints lock per model.
 
+pub mod persist;
 pub mod registry;
 pub mod session;
 
+pub use persist::{read_session_state, write_session_state, SeriesState, SessionState};
 pub use registry::SessionRegistry;
 pub use session::{AppendOutcome, SeriesStatus, StreamConfig, StreamSession, StreamStatus};
 
@@ -210,6 +212,102 @@ mod tests {
         session.append(0, &[1.0]).unwrap();
         session.append(1, &[1.0]).unwrap();
         assert!(session.append(5, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn session_state_restores_bit_identically_mid_cadence() {
+        let model = fitted();
+        let cfg = StreamConfig {
+            refresh_every: 30,
+            compact_every: 2,
+            context: 3,
+        };
+        let mut live = StreamSession::new(Arc::clone(&model), cfg.clone());
+        // Drive through refreshes and a compaction, then stop mid-cadence
+        // so every piece of state (deltas, pending triples, stale scores,
+        // counters) is non-trivial at snapshot time.
+        for chunk in 0..7 {
+            live.append(0, &wave(chunk * 20, 20)).unwrap();
+            live.append(1, &wave(chunk * 20 + 5, 20)).unwrap();
+        }
+        // One sub-cadence chunk so the snapshot lands mid-refresh.
+        live.append(0, &wave(140, 20)).unwrap();
+        let status = live.status();
+        assert!(status.refreshes > 0 && status.points_pending > 0);
+
+        let bytes = persist::write_session_state(&live, 42);
+        let state = persist::read_session_state(&bytes).expect("round trip");
+        assert_eq!(state.seq, 42);
+        assert_eq!(state.points_total, status.points_total);
+        assert_eq!(state.series.len(), 2);
+
+        // Restore over the session's *current* model (post-compaction Arc).
+        let restored =
+            StreamSession::restore(Arc::clone(live.model()), cfg, state).expect("restore");
+        assert_eq!(restored.scores(0), live.scores(0));
+        assert_eq!(restored.scores(1), live.scores(1));
+        let a = live.status();
+        let b = restored.status();
+        assert_eq!(a.points_total, b.points_total);
+        assert_eq!(a.points_pending, b.points_pending);
+        assert_eq!(a.refreshes, b.refreshes);
+        assert_eq!(a.compactions, b.compactions);
+        assert_eq!(a.pending_triples, b.pending_triples);
+        assert_eq!(a.delta_edges, b.delta_edges);
+
+        // The decisive check: both sessions evolve identically from here.
+        let mut restored = restored;
+        for chunk in 7..10 {
+            let x = live.append(0, &wave(chunk * 20, 20)).unwrap();
+            let y = restored.append(0, &wave(chunk * 20, 20)).unwrap();
+            assert_eq!(x.refreshed, y.refreshed);
+            assert_eq!(x.compacted.is_some(), y.compacted.is_some());
+        }
+        assert_eq!(live.scores(0), restored.scores(0));
+        assert_eq!(live.scores(1), restored.scores(1));
+        let a = live.status();
+        let b = restored.status();
+        assert_eq!(a.delta_edges, b.delta_edges);
+        assert_eq!(
+            a.series.iter().map(|s| s.max_score).collect::<Vec<_>>(),
+            b.series.iter().map(|s| s.max_score).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn session_state_rejects_corruption_and_wrong_model() {
+        let model = fitted();
+        let mut session = StreamSession::new(Arc::clone(&model), StreamConfig::default());
+        session.append(0, &wave(0, 40)).unwrap();
+        let bytes = persist::write_session_state(&session, 7);
+
+        // Every prefix truncation and a spread of bit flips must be clean
+        // parse errors, never a panic.
+        for cut in 0..bytes.len() {
+            assert!(
+                persist::read_session_state(&bytes[..cut]).is_err(),
+                "cut at {cut}"
+            );
+        }
+        for pos in [0usize, 5, bytes.len() / 3, bytes.len() / 2, bytes.len() - 2] {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0x10;
+            assert!(persist::read_session_state(&bad).is_err(), "flip at {pos}");
+        }
+
+        // A state decoded fine but restored over the wrong model is
+        // rejected by the shape checks.
+        let other = fitted();
+        let state = persist::read_session_state(&bytes).unwrap();
+        let compatible = other.layers.len() == model.layers.len()
+            && other
+                .layers
+                .iter()
+                .zip(&model.layers)
+                .all(|(a, b)| a.graph.node_count() == b.graph.node_count());
+        if !compatible {
+            assert!(StreamSession::restore(other, StreamConfig::default(), state).is_err());
+        }
     }
 
     #[test]

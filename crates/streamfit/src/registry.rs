@@ -50,6 +50,27 @@ impl SessionRegistry {
         fresh
     }
 
+    /// Installs a pre-built (e.g. crash-recovered) session under `name`,
+    /// replacing any existing one. As with [`session_for`], the session
+    /// stays live only while its model `Arc` matches the served one — so
+    /// recovery must publish the session's model to the store with the
+    /// same `Arc` it restored the session over.
+    ///
+    /// [`session_for`]: SessionRegistry::session_for
+    pub fn install(&self, name: &str, session: StreamSession) -> Arc<Mutex<StreamSession>> {
+        let session = Arc::new(Mutex::new(session));
+        self.sessions
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(name.to_string(), Arc::clone(&session));
+        session
+    }
+
+    /// The config new sessions are opened with.
+    pub fn config(&self) -> &StreamConfig {
+        &self.cfg
+    }
+
     /// The session for `name` if one is open, without creating or
     /// validating it.
     pub fn get(&self, name: &str) -> Option<Arc<Mutex<StreamSession>>> {

@@ -35,13 +35,13 @@ impl Default for StreamConfig {
 }
 
 /// One live series the session is tracking.
-struct OpenSeries {
+pub(crate) struct OpenSeries {
     /// All points observed so far.
-    values: Vec<f64>,
+    pub(crate) values: Vec<f64>,
     /// Node path per model layer, grown window-by-window on append.
-    paths: Vec<Vec<NodeId>>,
+    pub(crate) paths: Vec<Vec<NodeId>>,
     /// Latest merged-view anomaly scores (best layer), set at refresh.
-    scores: Option<Vec<f64>>,
+    pub(crate) scores: Option<Vec<f64>>,
 }
 
 /// What one append did, beyond buffering.
@@ -104,17 +104,17 @@ pub struct SeriesStatus {
 /// the model are untouched because the base is never mutated, only
 /// replaced.
 pub struct StreamSession {
-    model: Arc<KGraphModel>,
-    cfg: StreamConfig,
+    pub(crate) model: Arc<KGraphModel>,
+    pub(crate) cfg: StreamConfig,
     /// One delta per model layer, node-aligned with that layer's graph.
-    deltas: Vec<DeltaGraph<f64>>,
+    pub(crate) deltas: Vec<DeltaGraph<f64>>,
     /// Triples buffered per layer since the last refresh.
-    pending: Vec<Vec<(NodeId, NodeId, f64)>>,
-    series: Vec<OpenSeries>,
-    points_since_refresh: usize,
-    points_total: u64,
-    refreshes: u64,
-    compactions: u64,
+    pub(crate) pending: Vec<Vec<(NodeId, NodeId, f64)>>,
+    pub(crate) series: Vec<OpenSeries>,
+    pub(crate) points_since_refresh: usize,
+    pub(crate) points_total: u64,
+    pub(crate) refreshes: u64,
+    pub(crate) compactions: u64,
 }
 
 fn sum(acc: &mut f64, w: f64) {
@@ -156,6 +156,21 @@ impl StreamSession {
     /// Number of open series.
     pub fn open_series(&self) -> usize {
         self.series.len()
+    }
+
+    /// Lifetime appended points.
+    pub fn points_total(&self) -> u64 {
+        self.points_total
+    }
+
+    /// Refreshes performed so far.
+    pub fn refreshes(&self) -> u64 {
+        self.refreshes
+    }
+
+    /// Compactions performed so far.
+    pub fn compactions(&self) -> u64 {
+        self.compactions
     }
 
     /// Appends `points` to series `index`. `index == open_series()` opens
