@@ -28,7 +28,20 @@
 //! boundary and surfaced as retryable (`503` upstream). When even the
 //! rollback fails the model flips to degraded read-only — reads keep
 //! serving, writes are refused — rather than risking silent divergence
-//! between the log and the in-memory state.
+//! between the log and the in-memory state. If the apply itself fails
+//! after journaling, [`Durability::revoke_ingest`] removes the record
+//! again: the WAL never holds a record the session did not apply.
+//!
+//! ## Locking
+//!
+//! Durability state is per model: the registry maps names to
+//! `Arc<Mutex<ModelDur>>` slots and is locked only for the lookup. All
+//! I/O — WAL appends, fsyncs, retry backoff sleeps, snapshot writes —
+//! runs under the *model's* lock alone, so one model's stalled disk never
+//! blocks another model's ingest. (Per-model mutual exclusion is in fact
+//! already guaranteed by the session lock the routes hold across
+//! `log_ingest`/`after_append`; the slot mutex makes the layer safe on
+//! its own.) A slot lock is never held while taking the registry lock.
 
 use crate::fsio::{Fs, StdFs};
 use crate::wal::Wal;
@@ -154,7 +167,9 @@ pub struct Durability {
     cfg: DurabilityConfig,
     counters: Arc<DurabilityCounters>,
     recovering: AtomicBool,
-    models: Mutex<HashMap<String, ModelDur>>,
+    /// Name → per-model slot. The registry lock covers only the lookup;
+    /// every I/O runs under the slot's own lock.
+    models: Mutex<HashMap<String, Arc<Mutex<ModelDur>>>>,
 }
 
 /// `true` when `name` is safe to use as a directory name under the state
@@ -231,24 +246,52 @@ impl Durability {
         self.recovering.load(Ordering::Acquire)
     }
 
-    /// Why `name` is degraded, if it is.
-    pub fn degraded_reason(&self, name: &str) -> Option<String> {
+    /// The slot for `name`, created empty if absent. Holds the registry
+    /// lock only for the lookup.
+    fn slot(&self, name: &str) -> Arc<Mutex<ModelDur>> {
+        let mut models = self.models.lock().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(models.entry(name.to_string()).or_insert_with(|| {
+            Arc::new(Mutex::new(ModelDur {
+                wal: None,
+                seq: 0,
+                snapshot_seq: 0,
+                refreshes_at_snapshot: 0,
+                degraded: None,
+            }))
+        }))
+    }
+
+    /// The slot for `name`, or `None` when it was never registered.
+    fn lookup(&self, name: &str) -> Option<Arc<Mutex<ModelDur>>> {
         self.models
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .get(name)
-            .and_then(|m| m.degraded.as_ref())
-            .map(|d| d.reason.clone())
+            .cloned()
+    }
+
+    /// Why `name` is degraded, if it is.
+    pub fn degraded_reason(&self, name: &str) -> Option<String> {
+        let slot = self.lookup(name)?;
+        let entry = slot.lock().unwrap_or_else(|e| e.into_inner());
+        entry.degraded.as_ref().map(|d| d.reason.clone())
     }
 
     /// Every degraded model with its reason, sorted by name.
     pub fn degraded_models(&self) -> Vec<(String, String)> {
-        let mut out: Vec<_> = self
+        let slots: Vec<(String, Arc<Mutex<ModelDur>>)> = self
             .models
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .iter()
-            .filter_map(|(n, m)| m.degraded.as_ref().map(|d| (n.clone(), d.reason.clone())))
+            .map(|(n, s)| (n.clone(), Arc::clone(s)))
+            .collect();
+        let mut out: Vec<_> = slots
+            .into_iter()
+            .filter_map(|(n, s)| {
+                let entry = s.lock().unwrap_or_else(|e| e.into_inner());
+                entry.degraded.as_ref().map(|d| (n, d.reason.clone()))
+            })
             .collect();
         out.sort();
         out
@@ -286,21 +329,22 @@ impl Durability {
     }
 
     fn mark_degraded(&self, name: &str, reason: String) {
-        let mut models = self.models.lock().unwrap_or_else(|e| e.into_inner());
-        let entry = models.entry(name.to_string()).or_insert_with(|| ModelDur {
-            wal: None,
-            seq: 0,
-            snapshot_seq: 0,
-            refreshes_at_snapshot: 0,
-            degraded: None,
-        });
-        if entry.degraded.is_none() {
-            self.counters
-                .models_degraded
-                .fetch_add(1, Ordering::Relaxed);
-        }
-        eprintln!("[durability] model {name} degraded read-only: {reason}");
+        let slot = self.slot(name);
+        let mut entry = slot.lock().unwrap_or_else(|e| e.into_inner());
+        self.degrade_locked(name, &mut entry, reason);
+    }
+
+    /// Degrades an already-locked slot. The first cause wins: a model
+    /// that is already degraded keeps its original reason.
+    fn degrade_locked(&self, name: &str, entry: &mut ModelDur, reason: String) {
         entry.wal = None;
+        if entry.degraded.is_some() {
+            return;
+        }
+        self.counters
+            .models_degraded
+            .fetch_add(1, Ordering::Relaxed);
+        eprintln!("[durability] model {name} degraded read-only: {reason}");
         entry.degraded = Some(Degraded { reason });
     }
 
@@ -329,15 +373,50 @@ impl Durability {
             self.with_retries(|| self.fs.rename(&tmp, &target))?;
         }
         self.with_retries(|| self.fs.sync_dir(&dir))?;
-        // The pair is durable: retire the old WAL coverage.
-        let retired = seq.saturating_sub(entry.snapshot_seq);
-        let wal = Wal::create(
-            &*self.fs,
-            &self.wal_path(name),
-            seq,
-            self.cfg.wal_sync_every,
-        )?;
-        entry.wal = Some(wal);
+        // The pair is durable: rotate the journal. Records actually logged
+        // since the previous snapshot — not a seq difference, which goes
+        // to zero when a re-fit resets the sequence — drive the counters.
+        let retired = entry.seq.saturating_sub(entry.snapshot_seq);
+        // Drop the old handle before the replacement log is created:
+        // renaming over an open file fails on Windows, and a dropped
+        // handle cannot keep appending to an unlinked inode if the
+        // rotation stalls midway.
+        entry.wal = None;
+        let wal_path = self.wal_path(name);
+        match Wal::create(&*self.fs, &wal_path, seq, self.cfg.wal_sync_every) {
+            Ok(wal) => entry.wal = Some(wal),
+            Err(e) if !e.renamed => {
+                // The live wal.log is still the previous journal: reopen
+                // it so acknowledged records stay covered and later
+                // appends keep landing where recovery will read them
+                // (replay skips records the new snapshot already holds).
+                match Wal::reopen(&*self.fs, &wal_path, entry.seq + 1, self.cfg.wal_sync_every) {
+                    Ok(wal) => entry.wal = Some(wal),
+                    Err(re) => self.degrade_locked(
+                        name,
+                        entry,
+                        format!(
+                            "WAL rotation failed ({}) and the previous journal could not be \
+                             reopened: {re}",
+                            e.io
+                        ),
+                    ),
+                }
+                return Err(e.io);
+            }
+            Err(e) => {
+                // The fresh (empty) journal already replaced the old one
+                // on disk, but no usable handle survived: any further
+                // acknowledged append would be silently non-durable.
+                // Refuse writes instead.
+                self.degrade_locked(
+                    name,
+                    entry,
+                    format!("WAL rotation failed after replacing the journal: {}", e.io),
+                );
+                return Err(e.io);
+            }
+        }
         entry.seq = seq;
         entry.snapshot_seq = seq;
         entry.refreshes_at_snapshot = refreshes;
@@ -404,26 +483,19 @@ impl Durability {
         // A transient session just for serialization: a fresh session's
         // state is exactly "no series, no deltas, counters at zero".
         let session = StreamSession::new(Arc::clone(model), cfg.clone());
-        let mut models = self.models.lock().unwrap_or_else(|e| e.into_inner());
-        let entry = models.entry(name.to_string()).or_insert_with(|| ModelDur {
-            wal: None,
-            seq: 0,
-            snapshot_seq: 0,
-            refreshes_at_snapshot: 0,
-            degraded: None,
-        });
+        let slot = self.slot(name);
+        let mut entry = slot.lock().unwrap_or_else(|e| e.into_inner());
         if entry.degraded.take().is_some() {
             // Re-registering (re-fit) clears a previous degradation.
             self.counters
                 .models_degraded
                 .fetch_sub(1, Ordering::Relaxed);
         }
-        if let Err(e) = self.write_snapshot_locked(entry, name, &session, 0, 0) {
-            drop(models);
+        if let Err(e) = self.write_snapshot_locked(&mut entry, name, &session, 0, 0) {
             self.counters
                 .snapshot_failures
                 .fetch_add(1, Ordering::Relaxed);
-            self.mark_degraded(name, format!("initial snapshot failed: {e}"));
+            self.degrade_locked(name, &mut entry, format!("initial snapshot failed: {e}"));
         }
     }
 
@@ -440,23 +512,23 @@ impl Durability {
         if !self.enabled {
             return Ok(());
         }
-        let mut models = self.models.lock().unwrap_or_else(|e| e.into_inner());
-        let entry = models.entry(name.to_string()).or_insert_with(|| ModelDur {
-            wal: None,
-            seq,
-            snapshot_seq: seq,
-            refreshes_at_snapshot: session.refreshes(),
-            degraded: None,
-        });
-        match self.write_snapshot_locked(entry, name, session, seq, session.refreshes()) {
+        let slot = self.slot(name);
+        let mut entry = slot.lock().unwrap_or_else(|e| e.into_inner());
+        // A fresh slot starts zeroed; anchor it at the recovered sequence
+        // so the retirement arithmetic sees "nothing pending".
+        if entry.wal.is_none() && entry.degraded.is_none() {
+            entry.seq = seq;
+            entry.snapshot_seq = seq;
+            entry.refreshes_at_snapshot = session.refreshes();
+        }
+        match self.write_snapshot_locked(&mut entry, name, session, seq, session.refreshes()) {
             Ok(()) => Ok(()),
             Err(e) => {
-                drop(models);
                 self.counters
                     .snapshot_failures
                     .fetch_add(1, Ordering::Relaxed);
                 let reason = format!("healing snapshot failed: {e}");
-                self.mark_degraded(name, reason.clone());
+                self.degrade_locked(name, &mut entry, reason.clone());
                 Err(reason)
             }
         }
@@ -476,14 +548,18 @@ impl Durability {
         if !self.enabled || !durable_name(name) {
             return IngestLog::Logged { seq: 0 };
         }
-        let mut models = self.models.lock().unwrap_or_else(|e| e.into_inner());
-        let Some(entry) = models.get_mut(name) else {
+        let Some(slot) = self.lookup(name) else {
             // Served but never registered (shouldn't happen once adoption
             // runs at startup): refuse retryably rather than diverge.
             return IngestLog::Unavailable {
                 reason: format!("model {name} has no durable state directory"),
             };
         };
+        // Only this model's slot is held across the append, its fsync and
+        // any retry backoff — a stalled disk on one model never blocks
+        // another model's ingest.
+        let mut guard = slot.lock().unwrap_or_else(|e| e.into_inner());
+        let entry = &mut *guard;
         if let Some(d) = &entry.degraded {
             return IngestLog::Degraded {
                 reason: d.reason.clone(),
@@ -517,7 +593,6 @@ impl Durability {
                 Err(e) => break Attempt::Failed(format!("{e}")),
             }
         };
-        drop(models);
         match outcome {
             Attempt::Logged(seq, synced) => {
                 self.counters
@@ -532,10 +607,62 @@ impl Durability {
                 IngestLog::Logged { seq }
             }
             Attempt::Poisoned(reason) => {
-                self.mark_degraded(name, reason.clone());
+                self.degrade_locked(name, entry, reason.clone());
                 IngestLog::Degraded { reason }
             }
             Attempt::Failed(reason) => IngestLog::Unavailable { reason },
+        }
+    }
+
+    /// Revokes the WAL record `seq` that [`log_ingest`](Self::log_ingest)
+    /// just wrote, because the in-memory apply that follows it failed.
+    /// Must be called with the per-model session lock still held, so no
+    /// later record can have landed in between. If the record cannot be
+    /// removed the model degrades read-only: a journal holding a record
+    /// the session never applied would stop replay there on recovery and
+    /// discard every later acknowledged record.
+    pub fn revoke_ingest(&self, name: &str, seq: u64) {
+        if !self.enabled || !durable_name(name) || seq == 0 {
+            return;
+        }
+        let Some(slot) = self.lookup(name) else {
+            return;
+        };
+        let mut guard = slot.lock().unwrap_or_else(|e| e.into_inner());
+        let entry = &mut *guard;
+        if entry.degraded.is_some() {
+            return;
+        }
+        let Some(wal) = entry.wal.as_mut() else {
+            return;
+        };
+        if wal.next_seq() != seq + 1 {
+            // Not the most recent record — cannot happen while the
+            // session lock is held, but never truncate blindly.
+            self.degrade_locked(
+                name,
+                entry,
+                format!(
+                    "cannot revoke unapplied WAL record {seq}: log already advanced past it"
+                ),
+            );
+            return;
+        }
+        match wal.revoke_last() {
+            Ok(()) => {
+                entry.seq = seq - 1;
+                self.counters
+                    .wal_records_written
+                    .fetch_sub(1, Ordering::Relaxed);
+                self.counters
+                    .records_since_snapshot
+                    .fetch_sub(1, Ordering::Relaxed);
+            }
+            Err(e) => self.degrade_locked(
+                name,
+                entry,
+                format!("could not revoke unapplied WAL record {seq}: {e}"),
+            ),
         }
     }
 
@@ -545,10 +672,11 @@ impl Durability {
         if !self.enabled || !outcome_refreshed || !durable_name(name) {
             return;
         }
-        let mut models = self.models.lock().unwrap_or_else(|e| e.into_inner());
-        let Some(entry) = models.get_mut(name) else {
+        let Some(slot) = self.lookup(name) else {
             return;
         };
+        let mut guard = slot.lock().unwrap_or_else(|e| e.into_inner());
+        let entry = &mut *guard;
         if entry.degraded.is_some() {
             return;
         }
@@ -580,7 +708,8 @@ impl Durability {
             let mut models = self.models.lock().unwrap_or_else(|e| e.into_inner());
             models.remove(name)
         };
-        if let Some(m) = removed {
+        if let Some(slot) = removed {
+            let m = slot.lock().unwrap_or_else(|e| e.into_inner());
             if m.degraded.is_some() {
                 self.counters
                     .models_degraded

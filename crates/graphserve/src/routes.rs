@@ -717,8 +717,8 @@ fn ingest_endpoint(
     // Journal first, apply second, both under the session lock — the WAL
     // order is the apply order. A WAL failure refuses the ingest without
     // touching the session, so the two can never silently diverge.
-    match ctx.durability.log_ingest(name, index as u32, &points) {
-        IngestLog::Logged { .. } => {}
+    let wal_seq = match ctx.durability.log_ingest(name, index as u32, &points) {
+        IngestLog::Logged { seq } => seq,
         IngestLog::Unavailable { reason } => {
             return Response::error(503, &format!("ingest journal unavailable: {reason}"))
                 .with_header("retry-after", "1".to_string());
@@ -729,7 +729,7 @@ fn ingest_endpoint(
                 &format!("model {name:?} is degraded read-only: {reason}"),
             );
         }
-    }
+    };
     match guard.append(index, &points) {
         Ok(outcome) => {
             if let Some(next) = &outcome.compacted {
@@ -752,7 +752,13 @@ fn ingest_endpoint(
                 ),
             )
         }
-        Err(e) => error_response(&e),
+        Err(e) => {
+            // The journal holds a record the session refused: revoke it
+            // (still under the session lock) so replay can never apply
+            // what the live session did not.
+            ctx.durability.revoke_ingest(name, wal_seq);
+            error_response(&e)
+        }
     }
 }
 

@@ -193,6 +193,19 @@ pub fn replay(bytes: &[u8]) -> Result<WalReplay, TsError> {
     }
 }
 
+/// Why creating a replacement log failed, and how far it got.
+#[derive(Debug)]
+pub struct WalCreateError {
+    /// The underlying I/O error.
+    pub io: io::Error,
+    /// When true, the new (empty) header was already renamed over the
+    /// live log path: the previous journal is gone from the directory,
+    /// so a caller that keeps (or reopens) its old handle would append
+    /// to bytes no recovery will ever read. When false, the live log is
+    /// untouched and falling back to it is safe.
+    pub renamed: bool,
+}
+
 /// An append error, flagging whether the log was left in an unknown state.
 #[derive(Debug)]
 pub struct WalError {
@@ -221,27 +234,71 @@ pub struct Wal {
     next_seq: u64,
     sync_every: u64,
     appends_since_sync: u64,
+    /// Length before the most recent successful append, while that
+    /// record is still revocable (nothing appended after it).
+    last_boundary: Option<u64>,
 }
 
 impl Wal {
     /// Creates a fresh log at `path` (truncating any predecessor via an
     /// atomic rename) with `base_seq` covered by the current snapshot.
     /// The header is synced before the constructor returns.
-    pub fn create(fs: &dyn Fs, path: &Path, base_seq: u64, sync_every: u64) -> io::Result<Wal> {
+    ///
+    /// The append handle is opened on the *temp* file before the rename,
+    /// so a usable `Wal` exists the instant the new log becomes live (the
+    /// handle follows the inode across the rename). Every failure before
+    /// the rename leaves the previous log untouched; the only step after
+    /// it is the directory fsync, whose failure is reported with
+    /// [`WalCreateError::renamed`]` == true` so the caller knows falling
+    /// back to the old journal is no longer possible.
+    pub fn create(
+        fs: &dyn Fs,
+        path: &Path,
+        base_seq: u64,
+        sync_every: u64,
+    ) -> Result<Wal, WalCreateError> {
+        let before = |io| WalCreateError { io, renamed: false };
         let tmp = path.with_extension("tmp");
-        fs.write(&tmp, &encode_header(base_seq))?;
-        fs.rename(&tmp, path)?;
+        fs.write(&tmp, &encode_header(base_seq)).map_err(before)?;
+        let mut file = fs.open_wal(&tmp).map_err(before)?;
+        let len = file.len().map_err(before)?;
+        fs.rename(&tmp, path).map_err(before)?;
         if let Some(dir) = path.parent() {
-            fs.sync_dir(dir)?;
+            // The empty log is already live: if its directory entry cannot
+            // be made durable, a crash could resurrect the old log while
+            // acknowledged appends sit in an unreachable inode.
+            fs.sync_dir(dir)
+                .map_err(|io| WalCreateError { io, renamed: true })?;
         }
-        let mut file = fs.open_wal(path)?;
-        let len = file.len()?;
         Ok(Wal {
             file,
             len,
             next_seq: base_seq + 1,
             sync_every: sync_every.max(1),
             appends_since_sync: 0,
+            last_boundary: None,
+        })
+    }
+
+    /// Reopens the existing log at `path` for appending, continuing at
+    /// `next_seq`. The caller guarantees the file ends at a record
+    /// boundary — true whenever the previous handle was dropped cleanly,
+    /// because failed appends are rolled back before the error surfaces.
+    pub fn reopen(
+        fs: &dyn Fs,
+        path: &Path,
+        next_seq: u64,
+        sync_every: u64,
+    ) -> io::Result<Wal> {
+        let mut file = fs.open_wal(path)?;
+        let len = file.len()?;
+        Ok(Wal {
+            file,
+            len,
+            next_seq,
+            sync_every: sync_every.max(1),
+            appends_since_sync: 0,
+            last_boundary: None,
         })
     }
 
@@ -278,6 +335,7 @@ impl Wal {
                 } else {
                     self.appends_since_sync + 1
                 };
+                self.last_boundary = Some(self.len);
                 self.len += record.len() as u64;
                 self.next_seq += 1;
                 Ok((seq, synced))
@@ -291,6 +349,34 @@ impl Wal {
                 })
             }
         }
+    }
+
+    /// Revokes the most recent append: truncates the file back to the
+    /// boundary before it and rewinds the sequence counter. Used when
+    /// the in-memory apply that follows journaling fails — the log must
+    /// never retain a record the session did not apply, or replay would
+    /// stop at it and discard every later acknowledged record.
+    ///
+    /// # Errors
+    ///
+    /// [`io::ErrorKind::InvalidInput`] when there is no revocable record
+    /// (nothing appended through this handle, or the last record was
+    /// already revoked); otherwise the truncation error. On error the
+    /// on-disk tail may still hold the record and the caller must stop
+    /// accepting writes for this model.
+    pub fn revoke_last(&mut self) -> io::Result<()> {
+        let Some(boundary) = self.last_boundary else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "no revocable record",
+            ));
+        };
+        self.file.set_len(boundary)?;
+        self.last_boundary = None;
+        self.len = boundary;
+        self.next_seq -= 1;
+        self.appends_since_sync = self.appends_since_sync.saturating_sub(1);
+        Ok(())
     }
 
     /// Forces an fsync now, resetting the group-commit countdown.

@@ -9,8 +9,8 @@
 //! with a [`Durability`] built over [`FailFs`], so the code path is
 //! byte-for-byte the production one; only the filesystem lies.
 
-use graphserve::durability::{Durability, DurabilityConfig};
-use graphserve::fsio::{FailFs, FaultPlan, StdFs};
+use graphserve::durability::{Durability, DurabilityConfig, IngestLog};
+use graphserve::fsio::{FailFs, FaultPlan, Fs, StdFs, WalFile};
 use graphserve::http::{Request, Response};
 use graphserve::recovery::recover;
 use graphserve::routes::{self, RouteContext};
@@ -19,8 +19,9 @@ use graphserve::{ModelStore, ServerStats};
 use kgraph::pipeline::KGraphModel;
 use kgraph::{KGraph, KGraphConfig};
 use proptest::prelude::*;
+use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use streamfit::{SessionRegistry, StreamConfig};
 use tscore::{Dataset, DatasetKind, TimeSeries};
@@ -167,6 +168,119 @@ fn probe_series() -> String {
         .map(|i| ((i as f64) * 0.3).sin().to_string())
         .collect();
     format!("[{}]", values.join(","))
+}
+
+/// Rotation-targeted faults [`FaultPlan`] cannot express: fail the nth
+/// `write` to a specific file name, every `open_wal` from the nth call
+/// on, or the first `sync_dir` after the nth rename onto `wal.log`.
+#[derive(Default)]
+struct FlakyPlan {
+    /// Fail every `write` to a path with this file name, from the nth
+    /// (0-based) such write on.
+    fail_writes_named_from: Option<(&'static str, u64)>,
+    /// Fail every `open_wal` from the nth (0-based) call on.
+    fail_open_wal_from: Option<u64>,
+    /// After the nth (0-based) rename onto `wal.log`, fail the next
+    /// `sync_dir` call (one-shot).
+    fail_sync_dir_after_wal_rename: Option<u64>,
+}
+
+struct FlakyFs {
+    inner: Arc<dyn Fs>,
+    plan: FlakyPlan,
+    named_writes: AtomicU64,
+    wal_opens: AtomicU64,
+    wal_renames: AtomicU64,
+    sync_dir_armed: AtomicBool,
+}
+
+impl FlakyFs {
+    fn new(plan: FlakyPlan) -> Arc<FlakyFs> {
+        Arc::new(FlakyFs {
+            inner: Arc::new(StdFs),
+            plan,
+            named_writes: AtomicU64::new(0),
+            wal_opens: AtomicU64::new(0),
+            wal_renames: AtomicU64::new(0),
+            sync_dir_armed: AtomicBool::new(false),
+        })
+    }
+}
+
+impl Fs for FlakyFs {
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        self.inner.create_dir_all(path)
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.inner.read(path)
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        if let Some((name, from)) = self.plan.fail_writes_named_from {
+            if path.file_name().and_then(|n| n.to_str()) == Some(name)
+                && self.named_writes.fetch_add(1, Ordering::Relaxed) >= from
+            {
+                return Err(io::Error::other("injected write failure"));
+            }
+        }
+        self.inner.write(path, bytes)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        let result = self.inner.rename(from, to);
+        if result.is_ok() && to.file_name().and_then(|n| n.to_str()) == Some("wal.log") {
+            if let Some(nth) = self.plan.fail_sync_dir_after_wal_rename {
+                if self.wal_renames.fetch_add(1, Ordering::Relaxed) == nth {
+                    self.sync_dir_armed.store(true, Ordering::Relaxed);
+                }
+            }
+        }
+        result
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.inner.remove_file(path)
+    }
+
+    fn remove_dir_all(&self, path: &Path) -> io::Result<()> {
+        self.inner.remove_dir_all(path)
+    }
+
+    fn read_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>> {
+        self.inner.read_dir(path)
+    }
+
+    fn sync_dir(&self, path: &Path) -> io::Result<()> {
+        if self.sync_dir_armed.swap(false, Ordering::Relaxed) {
+            return Err(io::Error::other("injected dir fsync failure"));
+        }
+        self.inner.sync_dir(path)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.inner.exists(path)
+    }
+
+    fn open_wal(&self, path: &Path) -> io::Result<Box<dyn WalFile>> {
+        if let Some(from) = self.plan.fail_open_wal_from {
+            if self.wal_opens.fetch_add(1, Ordering::Relaxed) >= from {
+                return Err(io::Error::other("injected open failure"));
+            }
+        }
+        self.inner.open_wal(path)
+    }
+}
+
+/// The model's `points_total` as the stream-status route reports it.
+fn points_total(h: &Harness) -> u64 {
+    let resp = h.handle("GET", "/models/demo/stream-status", "");
+    body_text(&resp)
+        .split("\"points_total\":")
+        .nth(1)
+        .and_then(|s| s.split([',', '}']).next())
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
 }
 
 /// Runs registration once over a fault-free [`FailFs`] and reports how
@@ -528,6 +642,203 @@ fn bit_rot_on_every_read_never_panics_recovery() {
         report.degraded.len() + report.failed.len(),
         1,
         "the rot is surfaced, not swallowed: {report:?}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// WAL rotation faults: an acknowledged ingest is never silently lost
+// ---------------------------------------------------------------------------
+
+#[test]
+fn rotation_failure_before_rename_falls_back_to_the_old_journal() {
+    let dir = TempDir::new("rotfallback");
+    // Every journal rotation after the initial registration fails while
+    // writing the replacement header — before anything replaces the live
+    // wal.log. The model must keep accepting writes, covered by the old
+    // journal, and a crash must lose nothing that was acknowledged.
+    let fs = FlakyFs::new(FlakyPlan {
+        fail_writes_named_from: Some(("wal.tmp", 1)),
+        ..FlakyPlan::default()
+    });
+    let durability = Durability::with_fs(durability_config(dir.path(), 0), fs);
+    let h = Harness::new(durability);
+    for i in 0..3 {
+        let resp = h.handle("POST", "/models/demo/ingest", &ingest_body(i));
+        assert_eq!(resp.status, 200, "{}", body_text(&resp));
+    }
+    let resp = h.handle("GET", "/healthz", "");
+    assert!(
+        body_text(&resp).contains("\"status\":\"ok\""),
+        "rotation failure with an intact journal is not a degradation: {}",
+        body_text(&resp)
+    );
+    assert!(
+        h.durability
+            .counters()
+            .snapshot_failures
+            .load(Ordering::Relaxed)
+            >= 3,
+        "each failed rotation is counted"
+    );
+    drop(h);
+
+    // Crash + honest restart: snapshots landed before every failed
+    // rotation and the old journal covers the rest — all 3 acknowledged
+    // ingests survive.
+    let durability = Durability::new(durability_config(dir.path(), 0));
+    let h = Harness::empty(durability);
+    let report = recover(&h.durability, &h.store, &h.sessions);
+    assert_eq!(report.recovered, vec!["demo".to_string()], "{report:?}");
+    assert_eq!(points_total(&h), 24, "every acknowledged ingest survives");
+}
+
+/// Drives ingests against a harness whose first journal rotation breaks
+/// *after* a usable fallback is gone, then asserts the fail-safe: the
+/// first ingest (acknowledged before the rotation) survives a crash, and
+/// every later write is refused as degraded rather than acknowledged
+/// into a journal no recovery will read.
+fn assert_unusable_rotation_degrades(tag: &str, plan: FlakyPlan) {
+    let dir = TempDir::new(tag);
+    let durability = Durability::with_fs(durability_config(dir.path(), 0), FlakyFs::new(plan));
+    let h = Harness::new(durability);
+    let resp = h.handle("POST", "/models/demo/ingest", &ingest_body(0));
+    assert_eq!(resp.status, 200, "{}", body_text(&resp));
+    let resp = h.handle("POST", "/models/demo/ingest", &ingest_body(1));
+    assert_eq!(resp.status, 503, "{}", body_text(&resp));
+    assert!(
+        body_text(&resp).contains("degraded"),
+        "{}",
+        body_text(&resp)
+    );
+    let resp = h.handle("GET", "/healthz", "");
+    assert!(
+        body_text(&resp).contains("\"status\":\"degraded\""),
+        "{}",
+        body_text(&resp)
+    );
+    drop(h);
+
+    let durability = Durability::new(durability_config(dir.path(), 0));
+    let h = Harness::empty(durability);
+    let report = recover(&h.durability, &h.store, &h.sessions);
+    assert_eq!(report.recovered, vec!["demo".to_string()], "{report:?}");
+    assert_eq!(
+        points_total(&h),
+        8,
+        "the acknowledged ingest survives, the refused ones never existed"
+    );
+}
+
+#[test]
+fn unopenable_replacement_journal_degrades_instead_of_losing_acks() {
+    // open #0 is the initial registration's; #1 (the rotation's handle on
+    // the temp header) and #2 (reopening the old journal) both fail.
+    assert_unusable_rotation_degrades(
+        "rotopen",
+        FlakyPlan {
+            fail_open_wal_from: Some(1),
+            ..FlakyPlan::default()
+        },
+    );
+}
+
+#[test]
+fn dir_fsync_failure_after_rename_degrades_instead_of_losing_acks() {
+    // rename #0 onto wal.log is the initial registration's; after #1 (the
+    // first rotation) the directory fsync fails — the empty replacement
+    // journal is already live, so there is nothing to fall back to.
+    assert_unusable_rotation_degrades(
+        "rotsyncdir",
+        FlakyPlan {
+            fail_sync_dir_after_wal_rename: Some(1),
+            ..FlakyPlan::default()
+        },
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Revocation: the journal never holds a record the session did not apply
+// ---------------------------------------------------------------------------
+
+#[test]
+fn revoked_wal_record_is_gone_from_journal_and_replay() {
+    let dir = TempDir::new("revoke");
+    let durability = Durability::new(durability_config(dir.path(), 1_000));
+    let h = Harness::new(durability);
+    for i in 0..2 {
+        let resp = h.handle("POST", "/models/demo/ingest", &ingest_body(i));
+        assert_eq!(resp.status, 200, "{}", body_text(&resp));
+    }
+    // Journal a record and revoke it, as the ingest route does when the
+    // in-memory apply fails after journaling.
+    let seq = match h.durability.log_ingest("demo", 0, &[0.25; 8]) {
+        IngestLog::Logged { seq } => seq,
+        other => panic!("journaling failed: {other:?}"),
+    };
+    assert_eq!(seq, 3);
+    h.durability.revoke_ingest("demo", seq);
+    // The next ingest reuses the sequence — no gap, no orphaned record.
+    let resp = h.handle("POST", "/models/demo/ingest", &ingest_body(2));
+    assert_eq!(resp.status, 200, "{}", body_text(&resp));
+    assert_eq!(
+        h.durability
+            .counters()
+            .wal_records_written
+            .load(Ordering::Relaxed),
+        3,
+        "the revoked record is not counted as written"
+    );
+    drop(h);
+
+    let wal_bytes = std::fs::read(dir.path().join("demo").join("wal.log")).expect("wal exists");
+    let rep = wal::replay(&wal_bytes).expect("valid journal");
+    assert_eq!(rep.records.len(), 3, "exactly the applied records remain");
+    assert!(!rep.torn, "revocation leaves a clean tail");
+    assert!(
+        rep.records.iter().all(|r| r.points != vec![0.25; 8]),
+        "the revoked record is gone from the journal"
+    );
+
+    let durability = Durability::new(durability_config(dir.path(), 1_000));
+    let h = Harness::empty(durability);
+    let report = recover(&h.durability, &h.store, &h.sessions);
+    assert_eq!(report.recovered, vec!["demo".to_string()], "{report:?}");
+    assert_eq!(report.replayed_records, 3);
+    assert_eq!(points_total(&h), 24, "exactly the applied records replay");
+}
+
+// ---------------------------------------------------------------------------
+// Gauge accounting
+// ---------------------------------------------------------------------------
+
+#[test]
+fn refit_resets_the_records_since_snapshot_gauge() {
+    let dir = TempDir::new("gauge");
+    let durability = Durability::new(durability_config(dir.path(), 1_000));
+    let h = Harness::new(durability);
+    for i in 0..3 {
+        let resp = h.handle("POST", "/models/demo/ingest", &ingest_body(i));
+        assert_eq!(resp.status, 200, "{}", body_text(&resp));
+    }
+    let counters = Arc::clone(h.durability.counters());
+    assert_eq!(counters.records_since_snapshot.load(Ordering::Relaxed), 3);
+    // Re-fit: re-registering resets the model's sequence to 0. The gauge
+    // must drop by the records the fresh journal discards — not by the
+    // new-seq-minus-old-snapshot-seq difference, which is zero here.
+    let model = {
+        let mut reader = h.store.reader();
+        reader.get("demo").expect("demo is registered")
+    };
+    h.durability
+        .persist_initial("demo", &model, h.sessions.config());
+    assert_eq!(
+        counters.records_since_snapshot.load(Ordering::Relaxed),
+        0,
+        "the gauge returns to zero after the re-fit snapshot"
+    );
+    assert!(
+        counters.wal_records_truncated.load(Ordering::Relaxed) >= 3,
+        "the discarded records count as truncated"
     );
 }
 
