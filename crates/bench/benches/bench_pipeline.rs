@@ -1,6 +1,13 @@
-//! Criterion benches for the end-to-end pipeline: full fit vs dataset
-//! size/length, and the parallel vs serial per-length jobs ablation.
+//! Stage-attributed criterion benches for the end-to-end pipeline.
+//!
+//! Every label is `pipeline/<stage>/<variant>` with `<stage>` one of
+//! `build` / `fit` / `features` / `cluster` / `render` (see
+//! `bench::stages`). The committed `crates/bench/BENCH_pipeline.json` is
+//! the recorded baseline; CI reruns this bench and gates merges with
+//! `bench_compare` on per-stage geomean ratios. Scaling variants (series
+//! count, length, parallel vs serial jobs) all live under the `fit` stage.
 
+use bench::stages::StageFixture;
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use kgraph::{KGraph, KGraphConfig};
 
@@ -15,13 +22,39 @@ fn quick_config(k: usize, parallel: bool) -> KGraphConfig {
     }
 }
 
-fn bench_pipeline(c: &mut Criterion) {
+fn bench_stages(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    let fx = StageFixture::standard();
+
+    group.bench_function(BenchmarkId::new("build", format!("l{}", fx.length)), |b| {
+        b.iter(|| fx.run_build())
+    });
+    group.bench_function(BenchmarkId::new("fit", "full"), |b| b.iter(|| fx.run_fit()));
+
+    // The downstream stages reuse one built layer / fitted model so their
+    // timings isolate the stage itself.
+    let layer = fx.run_build();
+    group.bench_function(BenchmarkId::new("features", "matrix"), |b| {
+        b.iter(|| fx.run_features(black_box(&layer)))
+    });
+    group.bench_function(BenchmarkId::new("cluster", "kmeans"), |b| {
+        b.iter(|| fx.run_cluster(black_box(&layer)))
+    });
+    let model = fx.run_fit();
+    group.bench_function(BenchmarkId::new("render", "graph"), |b| {
+        b.iter(|| fx.run_render(black_box(&model)))
+    });
+    group.finish();
+}
+
+fn bench_fit_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("pipeline");
     group.sample_size(10);
     for per_class in [5usize, 10] {
         let dataset = datasets::cbf::cbf(per_class, 96, 0);
         group.bench_with_input(
-            BenchmarkId::new("fit_n_series", per_class * 3),
+            BenchmarkId::new("fit", format!("n_series_{}", per_class * 3)),
             &per_class,
             |b, _| {
                 let kg = KGraph::new(quick_config(3, true));
@@ -31,21 +64,29 @@ fn bench_pipeline(c: &mut Criterion) {
     }
     for length in [64usize, 128] {
         let dataset = datasets::cbf::cbf(6, length, 0);
-        group.bench_with_input(BenchmarkId::new("fit_length", length), &length, |b, _| {
-            let kg = KGraph::new(quick_config(3, true));
-            b.iter(|| kg.fit(black_box(&dataset)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("fit", format!("length_{length}")),
+            &length,
+            |b, _| {
+                let kg = KGraph::new(quick_config(3, true));
+                b.iter(|| kg.fit(black_box(&dataset)))
+            },
+        );
     }
     // Parallel vs serial jobs.
     let dataset = datasets::cbf::cbf(8, 96, 0);
     for (name, parallel) in [("parallel", true), ("serial", false)] {
-        group.bench_with_input(BenchmarkId::new("jobs", name), &parallel, |b, &p| {
-            let kg = KGraph::new(quick_config(3, p));
-            b.iter(|| kg.fit(black_box(&dataset)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("fit", format!("jobs_{name}")),
+            &parallel,
+            |b, &p| {
+                let kg = KGraph::new(quick_config(3, p));
+                b.iter(|| kg.fit(black_box(&dataset)))
+            },
+        );
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_pipeline);
+criterion_group!(benches, bench_stages, bench_fit_scaling);
 criterion_main!(benches);

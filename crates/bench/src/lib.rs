@@ -6,6 +6,9 @@
 //! yields the [`BenchmarkRecord`]s the frame consumes. Experiment binaries
 //! print ASCII tables and write SVG/HTML + CSV artefacts under `out/`.
 
+pub mod baseline;
+pub mod stages;
+
 use clustering::method::{ClusteringMethod, MethodKind};
 use clustering::metrics::{
     adjusted_mutual_information, adjusted_rand_index, normalized_mutual_information, rand_index,

@@ -1,0 +1,126 @@
+//! Stage-attributed pipeline fixture for the regression-gated benches.
+//!
+//! The end-to-end k-Graph pipeline decomposes into five stages —
+//! **build** (subsequence embedding + radial scan + graph construction),
+//! **fit** (the full multi-length model), **features** (path → feature
+//! matrix), **cluster** (k-Means over the features) and **render** (the
+//! Graph frame's node-link view). `bench_pipeline` times each stage under
+//! a label of the form `pipeline/<stage>/<variant>`, and
+//! [`crate::baseline`] aggregates ratios per `<stage>` — so a regression
+//! report says *which stage* got slower, not just that the pipeline did.
+//!
+//! Everything here is deterministic (fixed dataset seed, fixed config) so
+//! two runs on the same machine measure the same work.
+
+use graphint::frames::graph::GraphFrame;
+use kgraph::build::GraphLayer;
+use kgraph::embed::project_subsequences;
+use kgraph::features::{cluster_layer, feature_matrix};
+use kgraph::nodes::radial_scan;
+use kgraph::{KGraph, KGraphConfig, KGraphModel};
+use tscore::Dataset;
+
+/// The five stage names, in pipeline order. These are the `<stage>` path
+/// segments of every `pipeline/<stage>/<variant>` bench label and the keys
+/// the comparison gate aggregates by.
+pub const STAGE_NAMES: [&str; 5] = ["build", "fit", "features", "cluster", "render"];
+
+/// Deterministic workload shared by every stage bench.
+pub struct StageFixture {
+    /// The dataset every stage operates on (CBF, fixed seed).
+    pub dataset: Dataset,
+    /// Subsequence length ℓ used for the single-layer stages.
+    pub length: usize,
+    /// The pipeline configuration used by the fit stage (also supplies
+    /// ψ, stride, KDE grid and PCA sample size to the single-layer stages).
+    pub config: KGraphConfig,
+}
+
+impl StageFixture {
+    /// The standard fixture: 18 CBF series of length 96, a 3-length
+    /// pipeline bounded like the quick experiment configs.
+    pub fn standard() -> Self {
+        let dataset = datasets::cbf::cbf(6, 96, 0);
+        let config = KGraphConfig {
+            n_lengths: 3,
+            psi: 16,
+            pca_sample: 600,
+            n_init: 2,
+            parallel: true,
+            ..KGraphConfig::new(3)
+        };
+        StageFixture {
+            dataset,
+            length: 24,
+            config,
+        }
+    }
+
+    /// Stage `build`: embedding + radial scan + graph for one length.
+    pub fn run_build(&self) -> GraphLayer {
+        let cfg = &self.config;
+        let proj = project_subsequences(&self.dataset, self.length, cfg.stride, cfg.pca_sample);
+        let assign = radial_scan(&proj, cfg.psi, cfg.kde_grid, cfg.min_density_ratio);
+        kgraph::build::build_graph_with_stride(&self.dataset, &proj, &assign, cfg.stride)
+    }
+
+    /// Stage `fit`: the full multi-length model.
+    pub fn run_fit(&self) -> KGraphModel {
+        KGraph::new(self.config.clone()).fit(&self.dataset)
+    }
+
+    /// Stage `features`: the per-series feature matrix of a built layer.
+    pub fn run_features(&self, layer: &GraphLayer) -> Vec<Vec<f64>> {
+        feature_matrix(layer, self.config.node_features, self.config.edge_features)
+    }
+
+    /// Stage `cluster`: k-Means over a layer's features.
+    pub fn run_cluster(&self, layer: &GraphLayer) -> Vec<usize> {
+        let cfg = &self.config;
+        cluster_layer(
+            layer,
+            cfg.k,
+            cfg.n_init,
+            cfg.seed,
+            cfg.node_features,
+            cfg.edge_features,
+        )
+    }
+
+    /// Stage `render`: the Graph frame's ASCII/ANSI node-link view.
+    pub fn run_render(&self, model: &KGraphModel) -> String {
+        GraphFrame::with_auto_thresholds(model).render_graph()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stages_compose_end_to_end() {
+        let fx = StageFixture::standard();
+        let layer = fx.run_build();
+        assert!(layer.graph.node_count() > 0);
+        assert_eq!(layer.paths.len(), fx.dataset.len());
+
+        let features = fx.run_features(&layer);
+        assert_eq!(features.len(), fx.dataset.len());
+
+        let labels = fx.run_cluster(&layer);
+        assert_eq!(labels.len(), fx.dataset.len());
+        assert!(labels.iter().all(|&l| l < fx.config.k));
+
+        let model = fx.run_fit();
+        assert_eq!(model.labels.len(), fx.dataset.len());
+        let svg = fx.run_render(&model);
+        assert!(!svg.is_empty());
+    }
+
+    #[test]
+    fn fixture_is_deterministic() {
+        let a = StageFixture::standard().run_fit();
+        let b = StageFixture::standard().run_fit();
+        assert_eq!(a.labels, b.labels);
+    }
+}

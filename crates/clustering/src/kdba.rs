@@ -7,7 +7,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use tscore::dtw::{dba, dtw, DtwOptions};
+use tscore::dtw::{dba_with, dtw_with, DtwOptions, DtwScratch};
 
 /// k-DBA configuration.
 #[derive(Debug, Clone, Copy)]
@@ -69,6 +69,10 @@ impl Kdba {
         }
         let mut centroids: Vec<Vec<f64>> = picks.iter().take(k).map(|&i| rows[i].clone()).collect();
         let mut labels = vec![0usize; n];
+        // One DTW scratch for the whole fit: every assignment, DBA
+        // alignment and final-cost evaluation reuses its DP rows instead of
+        // allocating two fresh ones per pair.
+        let mut scratch = DtwScratch::new();
 
         for _ in 0..self.max_iter {
             // Assignment.
@@ -77,7 +81,7 @@ impl Kdba {
                 let mut best = labels[i];
                 let mut best_d = f64::INFINITY;
                 for (c, centroid) in centroids.iter().enumerate() {
-                    let d = dtw(centroid, row, opts).unwrap_or(f64::INFINITY);
+                    let d = dtw_with(centroid, row, opts, &mut scratch).unwrap_or(f64::INFINITY);
                     if d < best_d {
                         best_d = d;
                         best = c;
@@ -99,7 +103,7 @@ impl Kdba {
                 if members.is_empty() {
                     continue;
                 }
-                if let Ok(new_c) = dba(centroid, &members, opts, self.dba_iter) {
+                if let Ok(new_c) = dba_with(centroid, &members, opts, self.dba_iter, &mut scratch) {
                     *centroid = new_c;
                 }
             }
@@ -111,7 +115,7 @@ impl Kdba {
         let total_distance = rows
             .iter()
             .zip(&labels)
-            .map(|(row, &l)| dtw(&centroids[l], row, opts).unwrap_or(0.0))
+            .map(|(row, &l)| dtw_with(&centroids[l], row, opts, &mut scratch).unwrap_or(0.0))
             .sum();
         KdbaResult {
             labels,

@@ -169,17 +169,20 @@ pub fn shape_extraction(members: &[&[f64]], previous: &[f64]) -> Vec<f64> {
     let m = previous.len();
     // Align members to the previous centroid (first iteration: no shift).
     let use_alignment = previous.iter().any(|&x| x != 0.0);
+    // Shift and normalise each member with one allocation, not two: the
+    // shifted row is z-normalised in place instead of being copied again.
     let aligned: Vec<Vec<f64>> = members
         .iter()
         .map(|&s| {
-            if use_alignment {
+            let mut row = if use_alignment {
                 let (_, shift) = sbd_fft_with_shift(previous, s);
                 tscore::distance::apply_shift(s, shift)
             } else {
                 s.to_vec()
-            }
+            };
+            tscore::transform::znorm_inplace(&mut row);
+            row
         })
-        .map(|s| znorm(&s))
         .collect();
 
     // S = Σ zᵀz over aligned members.

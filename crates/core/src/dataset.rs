@@ -174,11 +174,30 @@ impl Dataset {
     }
 
     /// Z-normalised copy of every series.
+    ///
+    /// Each output row is allocated exactly once and written directly by
+    /// the fused [`crate::kernel::znorm_into`] — no intermediate copy that
+    /// is then normalised in place.
     pub fn znormed_rows(&self) -> Vec<Vec<f64>> {
         self.series
             .iter()
-            .map(|s| transform::znorm(s.values()))
+            .map(|s| {
+                let mut row = vec![0.0; s.len()];
+                crate::kernel::znorm_into(s.values(), &mut row);
+                row
+            })
             .collect()
+    }
+
+    /// Streams the z-normalised view of every series through `f` using one
+    /// reused scratch buffer — zero allocations per row. The alternative to
+    /// [`Self::znormed_rows`] for consumers that fold rows instead of
+    /// keeping them.
+    pub fn for_each_znormed_row(&self, mut f: impl FnMut(usize, &[f64])) {
+        let mut scratch = crate::kernel::ZnormScratch::new();
+        for (i, s) in self.series.iter().enumerate() {
+            f(i, scratch.znormed(s.values()));
+        }
     }
 
     /// Resamples every series to a common length (the minimum by default),

@@ -10,36 +10,31 @@
 //! cost matters). Dynamic time warping lives in [`crate::dtw`].
 
 use crate::error::{Result, TsError};
-use crate::transform::znorm;
+use crate::kernel;
 
 /// Squared Euclidean distance. Errors on length mismatch.
+///
+/// Delegates to the lane-chunked [`kernel::sq_euclidean`].
 pub fn sq_euclidean(a: &[f64], b: &[f64]) -> Result<f64> {
-    if a.len() != b.len() {
-        return Err(TsError::LengthMismatch {
-            left: a.len(),
-            right: b.len(),
-        });
-    }
-    Ok(a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum())
+    kernel::sq_euclidean(a, b)
 }
 
 /// Euclidean (L2) distance. Errors on length mismatch.
 pub fn euclidean(a: &[f64], b: &[f64]) -> Result<f64> {
-    sq_euclidean(a, b).map(f64::sqrt)
+    kernel::euclidean(a, b)
 }
 
 /// Euclidean distance between z-normalised copies of the inputs.
 ///
 /// Invariant to amplitude scaling and offset; the classic "shape" metric for
 /// raw-based clustering when series have been recorded at different gains.
+///
+/// Delegates to the fused [`kernel::znorm_euclidean`]: mean, std and the
+/// distance are computed in lane-chunked passes without materialising the
+/// z-normalised copies (the original two-allocation form survives as
+/// [`kernel::reference::znorm_euclidean`]).
 pub fn znorm_euclidean(a: &[f64], b: &[f64]) -> Result<f64> {
-    if a.len() != b.len() {
-        return Err(TsError::LengthMismatch {
-            left: a.len(),
-            right: b.len(),
-        });
-    }
-    euclidean(&znorm(a), &znorm(b))
+    kernel::znorm_euclidean(a, b)
 }
 
 /// Manhattan (L1) distance. Errors on length mismatch.
@@ -111,29 +106,24 @@ pub fn ncc(a: &[f64], b: &[f64]) -> Result<Vec<f64>> {
 }
 
 /// Maximum of the normalised cross-correlation over all shifts.
+///
+/// Allocation-free: delegates to [`kernel::ncc_max_with_shift`] instead of
+/// materialising the `2m − 1` correlation sequence.
 pub fn ncc_max(a: &[f64], b: &[f64]) -> Result<f64> {
-    Ok(ncc(a, b)?.into_iter().fold(f64::NEG_INFINITY, f64::max))
+    kernel::ncc_max_with_shift(a, b).map(|(v, _)| v)
 }
 
 /// Shape-Based Distance: `SBD(a, b) = 1 − max_s NCC_c(a, b)(s)`.
 ///
 /// Ranges in `[0, 2]`; 0 for identical shapes (up to scale), 2 for perfectly
-/// anti-correlated ones.
+/// anti-correlated ones. Allocation-free ([`kernel::sbd`]).
 pub fn sbd(a: &[f64], b: &[f64]) -> Result<f64> {
-    Ok(1.0 - ncc_max(a, b)?)
+    kernel::sbd(a, b)
 }
 
 /// SBD together with the optimal alignment shift (b relative to a).
 pub fn sbd_with_shift(a: &[f64], b: &[f64]) -> Result<(f64, isize)> {
-    let cc = ncc(a, b)?;
-    let mut best = 0usize;
-    for (i, &v) in cc.iter().enumerate() {
-        if v > cc[best] {
-            best = i;
-        }
-    }
-    let shift = best as isize - (a.len() as isize - 1);
-    Ok((1.0 - cc[best], shift))
+    kernel::sbd_with_shift(a, b)
 }
 
 /// Shifts `b` by `shift` positions (zero padded), as used by k-Shape's

@@ -3,8 +3,16 @@
 //! Used by the k-DBA baseline (k-Means under DTW with DBA averaging) in the
 //! Benchmark frame. The implementation keeps only two DP rows, so memory is
 //! O(m) while time is O(n·m) (or O(n·w) with a band of width `w`).
+//!
+//! The DP itself lives in [`crate::kernel`]: hot callers hold a
+//! [`DtwScratch`] and use [`dtw_with`] / [`dtw_path_with`] /
+//! [`dba_with`], which never allocate once the scratch is warm. The
+//! scratch-free entry points below allocate one scratch per call and are
+//! kept for convenience and API compatibility.
 
 use crate::error::{Result, TsError};
+use crate::kernel;
+pub use crate::kernel::DtwScratch;
 
 /// Configuration for DTW.
 #[derive(Debug, Clone, Copy, Default)]
@@ -18,40 +26,13 @@ pub struct DtwOptions {
 /// Returns the square root of the accumulated squared point costs, matching
 /// the common "DTW with squared local distance" convention used by tslearn.
 pub fn dtw(a: &[f64], b: &[f64], opts: DtwOptions) -> Result<f64> {
-    if a.is_empty() || b.is_empty() {
-        return Err(TsError::TooShort {
-            required: 1,
-            actual: a.len().min(b.len()),
-        });
-    }
-    let n = a.len();
-    let m = b.len();
-    // The band must be at least |n − m| wide for a path to exist.
-    let w = match opts.window {
-        Some(w) => w.max(n.abs_diff(m)),
-        None => n.max(m),
-    };
-    let inf = f64::INFINITY;
-    let mut prev = vec![inf; m + 1];
-    let mut curr = vec![inf; m + 1];
-    prev[0] = 0.0;
-    for i in 1..=n {
-        curr.fill(inf);
-        let lo = i.saturating_sub(w).max(1);
-        let hi = (i + w).min(m);
-        if lo > hi {
-            return Err(TsError::InvalidParameter(format!(
-                "DTW band too narrow: window {w} for lengths {n} x {m}"
-            )));
-        }
-        for j in lo..=hi {
-            let cost = (a[i - 1] - b[j - 1]) * (a[i - 1] - b[j - 1]);
-            let best = prev[j].min(curr[j - 1]).min(prev[j - 1]);
-            curr[j] = cost + best;
-        }
-        std::mem::swap(&mut prev, &mut curr);
-    }
-    Ok(prev[m].sqrt())
+    kernel::dtw(a, b, opts, &mut DtwScratch::new())
+}
+
+/// [`dtw`] into caller-owned scratch — zero allocations per call once the
+/// scratch is warm. Results are bit-identical to [`dtw`].
+pub fn dtw_with(a: &[f64], b: &[f64], opts: DtwOptions, scratch: &mut DtwScratch) -> Result<f64> {
+    kernel::dtw(a, b, opts, scratch)
 }
 
 /// DTW distance together with the optimal warping path.
@@ -60,58 +41,17 @@ pub fn dtw(a: &[f64], b: &[f64], opts: DtwOptions) -> Result<f64> {
 /// `(n−1, m−1)`. This variant keeps the full DP matrix — O(n·m) memory —
 /// and is the building block of DBA averaging.
 pub fn dtw_path(a: &[f64], b: &[f64], opts: DtwOptions) -> Result<(f64, Vec<(usize, usize)>)> {
-    if a.is_empty() || b.is_empty() {
-        return Err(TsError::TooShort {
-            required: 1,
-            actual: a.len().min(b.len()),
-        });
-    }
-    let n = a.len();
-    let m = b.len();
-    let w = match opts.window {
-        Some(w) => w.max(n.abs_diff(m)),
-        None => n.max(m),
-    };
-    let inf = f64::INFINITY;
-    let mut dp = vec![inf; (n + 1) * (m + 1)];
-    let idx = |i: usize, j: usize| i * (m + 1) + j;
-    dp[idx(0, 0)] = 0.0;
-    for i in 1..=n {
-        let lo = i.saturating_sub(w).max(1);
-        let hi = (i + w).min(m);
-        for j in lo..=hi {
-            let cost = (a[i - 1] - b[j - 1]) * (a[i - 1] - b[j - 1]);
-            let best = dp[idx(i - 1, j)]
-                .min(dp[idx(i, j - 1)])
-                .min(dp[idx(i - 1, j - 1)]);
-            dp[idx(i, j)] = cost + best;
-        }
-    }
-    let total = dp[idx(n, m)];
-    if !total.is_finite() {
-        return Err(TsError::InvalidParameter(format!(
-            "DTW band too narrow: window {w} for lengths {n} x {m}"
-        )));
-    }
-    // Backtrack greedily along the minimal predecessor.
-    let mut path = Vec::with_capacity(n + m);
-    let (mut i, mut j) = (n, m);
-    while i > 0 && j > 0 {
-        path.push((i - 1, j - 1));
-        let diag = dp[idx(i - 1, j - 1)];
-        let up = dp[idx(i - 1, j)];
-        let left = dp[idx(i, j - 1)];
-        if diag <= up && diag <= left {
-            i -= 1;
-            j -= 1;
-        } else if up <= left {
-            i -= 1;
-        } else {
-            j -= 1;
-        }
-    }
-    path.reverse();
-    Ok((total.sqrt(), path))
+    kernel::dtw_path(a, b, opts, &mut DtwScratch::new())
+}
+
+/// [`dtw_path`] with the DP matrix living in caller-owned scratch.
+pub fn dtw_path_with(
+    a: &[f64],
+    b: &[f64],
+    opts: DtwOptions,
+    scratch: &mut DtwScratch,
+) -> Result<(f64, Vec<(usize, usize)>)> {
+    kernel::dtw_path(a, b, opts, scratch)
 }
 
 /// One DBA (DTW Barycenter Averaging) refinement step.
@@ -120,6 +60,16 @@ pub fn dtw_path(a: &[f64], b: &[f64], opts: DtwOptions) -> Result<(f64, Vec<(usi
 /// point by the mean of all points warped onto it. Series may have varying
 /// lengths; the centre length is preserved.
 pub fn dba_step(center: &[f64], members: &[&[f64]], opts: DtwOptions) -> Result<Vec<f64>> {
+    dba_step_with(center, members, opts, &mut DtwScratch::new())
+}
+
+/// [`dba_step`] with caller-owned DTW scratch.
+pub fn dba_step_with(
+    center: &[f64],
+    members: &[&[f64]],
+    opts: DtwOptions,
+    scratch: &mut DtwScratch,
+) -> Result<Vec<f64>> {
     if center.is_empty() {
         return Err(TsError::TooShort {
             required: 1,
@@ -129,7 +79,7 @@ pub fn dba_step(center: &[f64], members: &[&[f64]], opts: DtwOptions) -> Result<
     let mut sums = vec![0.0; center.len()];
     let mut counts = vec![0usize; center.len()];
     for series in members {
-        let (_, path) = dtw_path(center, series, opts)?;
+        let (_, path) = kernel::dtw_path(center, series, opts, scratch)?;
         for (ci, sj) in path {
             sums[ci] += series[sj];
             counts[ci] += 1;
@@ -150,9 +100,21 @@ pub fn dba(
     opts: DtwOptions,
     max_iter: usize,
 ) -> Result<Vec<f64>> {
+    dba_with(init, members, opts, max_iter, &mut DtwScratch::new())
+}
+
+/// [`dba`] with caller-owned DTW scratch threaded through every
+/// alignment.
+pub fn dba_with(
+    init: &[f64],
+    members: &[&[f64]],
+    opts: DtwOptions,
+    max_iter: usize,
+    scratch: &mut DtwScratch,
+) -> Result<Vec<f64>> {
     let mut center = init.to_vec();
     for _ in 0..max_iter {
-        let next = dba_step(&center, members, opts)?;
+        let next = dba_step_with(&center, members, opts, scratch)?;
         let delta: f64 = next
             .iter()
             .zip(&center)

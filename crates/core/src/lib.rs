@@ -9,7 +9,10 @@
 //! * sliding-window subsequence extraction ([`windows`]),
 //! * distance measures: Euclidean, z-normalised Euclidean, shape-based
 //!   distance (SBD, the k-Shape distance) ([`distance`]) and dynamic time
-//!   warping with a Sakoe–Chiba band ([`dtw`]).
+//!   warping with a Sakoe–Chiba band ([`dtw`]),
+//! * the SIMD-friendly, allocation-free kernels behind them ([`kernel`]):
+//!   fused lane-chunked loops plus [`kernel::DtwScratch`] /
+//!   [`kernel::ZnormScratch`] so hot callers never allocate per pair.
 //!
 //! The crate is dependency-free so that every other crate in the workspace
 //! can build on it without pulling anything else in.
@@ -18,6 +21,7 @@ pub mod dataset;
 pub mod distance;
 pub mod dtw;
 pub mod error;
+pub mod kernel;
 pub mod series;
 pub mod stats;
 pub mod transform;

@@ -1,20 +1,26 @@
 //! Series transformations: normalisation, detrending, smoothing, resampling.
 
 use crate::error::{Result, TsError};
+use crate::kernel;
 use crate::stats;
 
 /// Z-normalises a slice in place: zero mean, unit (population) standard
 /// deviation. Constant slices are centred only (std would be zero).
+///
+/// Mean/std come from the lane-chunked [`kernel::mean_std`]; the scaling
+/// multiplies by the reciprocal so the loop vectorises. Hot per-window
+/// loops should prefer [`kernel::ZnormScratch`] / [`kernel::znorm_into`],
+/// which skip the copy this in-place form implies.
 pub fn znorm_inplace(xs: &mut [f64]) {
-    let m = stats::mean(xs);
-    let s = stats::std(xs);
+    let (m, s) = kernel::mean_std(xs);
     if s <= f64::EPSILON {
         for x in xs.iter_mut() {
             *x -= m;
         }
     } else {
+        let inv = 1.0 / s;
         for x in xs.iter_mut() {
-            *x = (*x - m) / s;
+            *x = (*x - m) * inv;
         }
     }
 }

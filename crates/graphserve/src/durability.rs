@@ -642,9 +642,7 @@ impl Durability {
             self.degrade_locked(
                 name,
                 entry,
-                format!(
-                    "cannot revoke unapplied WAL record {seq}: log already advanced past it"
-                ),
+                format!("cannot revoke unapplied WAL record {seq}: log already advanced past it"),
             );
             return;
         }

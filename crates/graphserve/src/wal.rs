@@ -284,12 +284,7 @@ impl Wal {
     /// `next_seq`. The caller guarantees the file ends at a record
     /// boundary — true whenever the previous handle was dropped cleanly,
     /// because failed appends are rolled back before the error surfaces.
-    pub fn reopen(
-        fs: &dyn Fs,
-        path: &Path,
-        next_seq: u64,
-        sync_every: u64,
-    ) -> io::Result<Wal> {
+    pub fn reopen(fs: &dyn Fs, path: &Path, next_seq: u64, sync_every: u64) -> io::Result<Wal> {
         let mut file = fs.open_wal(path)?;
         let len = file.len()?;
         Ok(Wal {

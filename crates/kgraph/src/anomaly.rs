@@ -87,12 +87,12 @@ pub fn embedding_gap_scores(layer: &GraphLayer, values: &[f64]) -> Option<Vec<f6
         center: emb.center,
         psi: emb.psi,
     };
+    let mut scratch = tscore::kernel::ZnormScratch::new();
     let mut out = Vec::new();
     let mut start = 0usize;
     while start + layer.length <= values.len() {
-        let z = tscore::transform::znorm(&values[start..start + layer.length]);
-        let p = emb.pca.project(&z);
-        let point = (p[0], *p.get(1).unwrap_or(&0.0));
+        let z = scratch.znormed(&values[start..start + layer.length]);
+        let point = emb.pca.project2(z);
         let node = crate::nodes::assign_point(&assignment, point);
         let dx = point.0 - emb.center.0;
         let dy = point.1 - emb.center.1;

@@ -13,7 +13,7 @@
 use crate::embed::Projection;
 use crate::nodes::{assign_point, NodeAssignment, RadialNode};
 use linalg::pca::Pca;
-use tscore::transform::znorm;
+use tscore::kernel::ZnormScratch;
 use tscore::Dataset;
 use tsgraph::{CsrGraph, GraphBuilder, NodeId};
 
@@ -94,12 +94,17 @@ impl GraphLayer {
             center: emb.center,
             psi: emb.psi,
         };
+        // One scratch buffer for every window: z-normalisation writes into
+        // it and the 2-D projection reads from it, so the serve-time loop
+        // allocates nothing per window. `znorm_into` + `project2` use the
+        // exact arithmetic of the fit-time path, keeping routed paths
+        // bit-identical to training paths.
+        let mut scratch = ZnormScratch::new();
         let mut path = Vec::new();
         let mut start = first_window * emb.stride;
         while start + self.length <= values.len() {
-            let z = znorm(&values[start..start + self.length]);
-            let p = emb.pca.project(&z);
-            let point = (p[0], *p.get(1).unwrap_or(&0.0));
+            let z = scratch.znormed(&values[start..start + self.length]);
+            let point = emb.pca.project2(z);
             path.push(NodeId(assign_point(&assignment, point) as u32));
             start += emb.stride;
         }
@@ -128,14 +133,16 @@ pub fn build_graph_with_stride(
         })
         .collect();
 
-    // Accumulate per-node pattern sums and counts.
+    // Accumulate per-node pattern sums and counts; one reused z-norm
+    // scratch instead of a fresh Vec per window.
+    let mut scratch = ZnormScratch::new();
     for (pi, &ni) in assign.point_node.iter().enumerate() {
         let r = proj.refs[pi];
         let series = dataset.series()[r.series].values();
-        let sub = znorm(&series[r.start..r.start + r.len]);
+        let sub = scratch.znormed(&series[r.start..r.start + r.len]);
         let node = &mut payloads[ni];
         node.count += 1;
-        for (acc, v) in node.pattern.iter_mut().zip(&sub) {
+        for (acc, v) in node.pattern.iter_mut().zip(sub) {
             *acc += v;
         }
     }

@@ -7,7 +7,7 @@
 
 use linalg::matrix::Matrix;
 use linalg::pca::Pca;
-use tscore::transform::znorm;
+use tscore::kernel::znorm_into;
 use tscore::windows::{window_count, SubseqRef};
 use tscore::Dataset;
 
@@ -55,44 +55,48 @@ pub fn project_subsequences(
         .sum();
     assert!(total > 0, "no series admits a window of length {length}");
 
-    // Collect z-normalised subsequences and their refs.
-    let mut rows: Vec<Vec<f64>> = Vec::with_capacity(total);
+    // Collect z-normalised subsequences into one flat row-major buffer —
+    // a single allocation instead of one Vec per window. Each row is
+    // written in place by the fused kernel.
+    let mut flat: Vec<f64> = vec![0.0; total * length];
     let mut refs: Vec<SubseqRef> = Vec::with_capacity(total);
     let mut starts: Vec<usize> = Vec::with_capacity(dataset.len() + 1);
+    let mut n_rows = 0usize;
     for (si, series) in dataset.series().iter().enumerate() {
-        starts.push(rows.len());
+        starts.push(n_rows);
         let vals = series.values();
         let mut start = 0usize;
         while start + length <= vals.len() {
-            rows.push(znorm(&vals[start..start + length]));
+            znorm_into(
+                &vals[start..start + length],
+                &mut flat[n_rows * length..(n_rows + 1) * length],
+            );
             refs.push(SubseqRef {
                 series: si,
                 start,
                 len: length,
             });
+            n_rows += 1;
             start += stride;
         }
     }
-    starts.push(rows.len());
+    starts.push(n_rows);
+    debug_assert_eq!(n_rows, total);
 
     // Fit PCA on an even deterministic sample.
-    let fit_rows: Vec<Vec<f64>> = if rows.len() <= pca_sample.max(8) {
-        rows.clone()
+    let pca = if total <= pca_sample.max(8) {
+        Pca::fit(&Matrix::from_vec(total, length, flat.clone()), 2)
     } else {
-        let step = rows.len() as f64 / pca_sample as f64;
-        (0..pca_sample)
-            .map(|i| rows[(i as f64 * step) as usize].clone())
-            .collect()
+        let step = total as f64 / pca_sample as f64;
+        let mut sample = Vec::with_capacity(pca_sample * length);
+        for i in 0..pca_sample {
+            let r = (i as f64 * step) as usize;
+            sample.extend_from_slice(&flat[r * length..(r + 1) * length]);
+        }
+        Pca::fit(&Matrix::from_vec(pca_sample, length, sample), 2)
     };
-    let pca = Pca::fit(&Matrix::from_rows(&fit_rows), 2);
 
-    let points: Vec<(f64, f64)> = rows
-        .iter()
-        .map(|r| {
-            let p = pca.project(r);
-            (p[0], *p.get(1).unwrap_or(&0.0))
-        })
-        .collect();
+    let points: Vec<(f64, f64)> = flat.chunks_exact(length).map(|r| pca.project2(r)).collect();
     Projection {
         length,
         points,

@@ -148,6 +148,31 @@ impl Pca {
             .collect()
     }
 
+    /// Projects a single observation onto the first two retained axes
+    /// without allocating. Missing axes (fewer than two components) yield
+    /// zero coordinates.
+    ///
+    /// The accumulation order per axis is identical to [`Self::project`]
+    /// (sequential `w[i] · (x[i] − mean[i])`), so the coordinates are
+    /// bit-identical to `project(x)[0..2]` — callers can mix the two forms
+    /// freely without ulp drift between fit-time and serve-time paths.
+    pub fn project2(&self, x: &[f64]) -> (f64, f64) {
+        assert_eq!(
+            x.len(),
+            self.mean.len(),
+            "PCA projection dimension mismatch"
+        );
+        let mut out = [0.0f64; 2];
+        for (c, slot) in out.iter_mut().enumerate().take(self.components.rows()) {
+            let mut acc = 0.0;
+            for ((w, xv), m) in self.components.row(c).iter().zip(x).zip(&self.mean) {
+                acc += w * (xv - m);
+            }
+            *slot = acc;
+        }
+        (out[0], out[1])
+    }
+
     /// Projects every row of `data`; returns a `rows × n_components` matrix.
     pub fn transform(&self, data: &Matrix) -> Matrix {
         let mut out = Matrix::zeros(data.rows(), self.n_components());
@@ -267,6 +292,23 @@ mod tests {
                 assert!((dot - expected).abs() < 1e-8);
             }
         }
+    }
+
+    #[test]
+    fn project2_bit_identical_to_project() {
+        let data = diagonal_cloud();
+        let pca = Pca::fit(&data, 2);
+        for r in 0..data.rows() {
+            let full = pca.project(data.row(r));
+            let (x, y) = pca.project2(data.row(r));
+            assert_eq!(x, full[0]);
+            assert_eq!(y, full[1]);
+        }
+        // One retained axis: the second coordinate is exactly zero.
+        let p1 = Pca::fit(&data, 1);
+        let (x, y) = p1.project2(data.row(0));
+        assert_eq!(x, p1.project(data.row(0))[0]);
+        assert_eq!(y, 0.0);
     }
 
     #[test]

@@ -16,10 +16,17 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// One finished benchmark: label plus nanosecond stats.
+///
+/// `min`/`mean`/`max` are computed after Tukey outlier rejection (samples
+/// outside `[Q1 − 1.5·IQR, Q3 + 1.5·IQR]` are discarded), so a single
+/// scheduler hiccup cannot poison a baseline. `median_ns` is the median of
+/// *all* samples — the robust location estimate regression comparisons
+/// should use. `samples` counts the surviving samples.
 struct BenchRecord {
     label: String,
     min_ns: u128,
     mean_ns: u128,
+    median_ns: u128,
     max_ns: u128,
     samples: usize,
 }
@@ -61,10 +68,11 @@ pub fn write_baseline() {
             out.push_str(",\n");
         }
         out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"min_ns\": {}, \"mean_ns\": {}, \"max_ns\": {}, \"samples\": {}}}",
+            "    {{\"name\": \"{}\", \"min_ns\": {}, \"mean_ns\": {}, \"median_ns\": {}, \"max_ns\": {}, \"samples\": {}}}",
             r.label.replace('"', "'"),
             r.min_ns,
             r.mean_ns,
+            r.median_ns,
             r.max_ns,
             r.samples
         ));
@@ -133,30 +141,58 @@ impl Bencher {
             println!("{label:<40} (no samples)");
             return;
         }
-        let min = self.samples.iter().min().unwrap();
-        let max = self.samples.iter().max().unwrap();
-        let mean = self.samples.iter().sum::<Duration>() / self.samples.len() as u32;
+        let mut sorted: Vec<u128> = self.samples.iter().map(Duration::as_nanos).collect();
+        sorted.sort_unstable();
+        let median = sorted[sorted.len() / 2];
+        let kept = reject_outliers(&sorted);
+        let min = *kept.first().expect("non-empty after rejection");
+        let max = *kept.last().expect("non-empty after rejection");
+        let mean = kept.iter().sum::<u128>() / kept.len() as u128;
         println!(
             "{label:<48} time: [{:>12} {:>12} {:>12}]",
-            format_duration(*min),
-            format_duration(mean),
-            format_duration(*max)
+            format_ns(min),
+            format_ns(median),
+            format_ns(max)
         );
         RESULTS
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .push(BenchRecord {
                 label: label.to_string(),
-                min_ns: min.as_nanos(),
-                mean_ns: mean.as_nanos(),
-                max_ns: max.as_nanos(),
-                samples: self.samples.len(),
+                min_ns: min,
+                mean_ns: mean,
+                median_ns: median,
+                max_ns: max,
+                samples: kept.len(),
             });
     }
 }
 
-fn format_duration(d: Duration) -> String {
-    let ns = d.as_nanos();
+/// Tukey fences: keeps the samples inside `[Q1 − 1.5·IQR, Q3 + 1.5·IQR]`.
+/// `sorted` must be ascending and non-empty; at least one sample (the
+/// median) always survives.
+fn reject_outliers(sorted: &[u128]) -> Vec<u128> {
+    if sorted.len() < 4 {
+        return sorted.to_vec();
+    }
+    let q1 = sorted[sorted.len() / 4];
+    let q3 = sorted[(3 * sorted.len()) / 4];
+    let iqr = q3 - q1;
+    let lo = q1.saturating_sub(iqr + iqr / 2);
+    let hi = q3 + iqr + iqr / 2;
+    let kept: Vec<u128> = sorted
+        .iter()
+        .copied()
+        .filter(|&s| (lo..=hi).contains(&s))
+        .collect();
+    if kept.is_empty() {
+        vec![sorted[sorted.len() / 2]]
+    } else {
+        kept
+    }
+}
+
+fn format_ns(ns: u128) -> String {
     if ns < 1_000 {
         format!("{ns} ns")
     } else if ns < 1_000_000 {
@@ -315,5 +351,24 @@ mod tests {
         });
         group.finish();
         assert!(ran > 0, "closure must actually run");
+    }
+
+    #[test]
+    fn outlier_rejection_drops_spikes() {
+        // Nine tight samples and one 100x spike: the spike must go.
+        let mut sorted = vec![100u128, 101, 102, 103, 104, 105, 106, 107, 108, 10_000];
+        sorted.sort_unstable();
+        let kept = reject_outliers(&sorted);
+        assert_eq!(kept.len(), 9);
+        assert!(!kept.contains(&10_000));
+        // Tiny sample sets are passed through untouched.
+        assert_eq!(reject_outliers(&[5, 9_999]), vec![5, 9_999]);
+    }
+
+    #[test]
+    fn outlier_rejection_never_empties() {
+        let sorted = vec![1u128, 1, 1, 1_000_000];
+        let kept = reject_outliers(&sorted);
+        assert!(!kept.is_empty());
     }
 }
