@@ -17,6 +17,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use tsgraph::algo;
+use tsgraph::layout::{self, BarnesHutOptions, ForceOptions};
 use tsgraph::{CsrGraph, DeltaGraph, DeltaView, DiGraph, GraphBuilder, NodeId, SpillBuilder};
 
 const NODES: usize = 12_000;
@@ -215,9 +216,37 @@ fn bench_stream(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_layout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("layout");
+    // The exact reference is O(n²) per iteration — at 50k nodes a single
+    // iteration is ~1.25e9 pair interactions, so both sides run only two
+    // force iterations and two samples. The comparison is the point: the
+    // acceptance bar is Barnes–Hut ≥ 10x faster at θ = 0.8.
+    group.sample_size(2);
+    const LAYOUT_NODES: usize = 50_000;
+    let stream = transition_stream(LAYOUT_NODES, 200_000);
+    let g = build_csr(LAYOUT_NODES, &stream);
+    let force = ForceOptions {
+        iterations: 2,
+        area: 1000.0,
+        seed: 42,
+    };
+    group.bench_with_input(
+        BenchmarkId::new("reference_50k", LAYOUT_NODES),
+        &g,
+        |b, g| b.iter(|| layout::reference::force_directed(black_box(g), force)),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("barnes_hut_theta08_50k", LAYOUT_NODES),
+        &g,
+        |b, g| b.iter(|| layout::barnes_hut(black_box(g), BarnesHutOptions { force, theta: 0.8 })),
+    );
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_build, bench_lookup, bench_pagerank, bench_stream
+    targets = bench_build, bench_lookup, bench_pagerank, bench_stream, bench_layout
 }
 criterion_main!(benches);

@@ -7,7 +7,7 @@
 //! `bench_compare` on per-stage geomean ratios. Scaling variants (series
 //! count, length, parallel vs serial jobs) all live under the `fit` stage.
 
-use bench::stages::StageFixture;
+use bench::stages::{ScaleFixture, StageFixture};
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use kgraph::{KGraph, KGraphConfig};
 
@@ -44,6 +44,23 @@ fn bench_stages(c: &mut Criterion) {
     let model = fx.run_fit();
     group.bench_function(BenchmarkId::new("render", "graph"), |b| {
         b.iter(|| fx.run_render(black_box(&model)))
+    });
+    group.finish();
+}
+
+fn bench_render_at_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    // Each iteration lays out and emits a 10k-node layer; a few samples
+    // are enough for a stable median under the shim's outlier rejection.
+    group.sample_size(3);
+    let fx = ScaleFixture::standard_10k();
+    // Barnes–Hut layout cost over the full 10k-node graph.
+    group.bench_function(BenchmarkId::new("render", "bh_10k"), |b| {
+        b.iter(|| black_box(&fx).run_render_bh())
+    });
+    // Level-of-detail emission under a tight element budget.
+    group.bench_function(BenchmarkId::new("render", "lod_10k"), |b| {
+        b.iter(|| black_box(&fx).run_render_lod())
     });
     group.finish();
 }
@@ -88,5 +105,10 @@ fn bench_fit_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_stages, bench_fit_scaling);
+criterion_group!(
+    benches,
+    bench_stages,
+    bench_fit_scaling,
+    bench_render_at_scale
+);
 criterion_main!(benches);

@@ -13,12 +13,16 @@
 //! two runs on the same machine measure the same work.
 
 use graphint::frames::graph::GraphFrame;
+use graphint::plot::{DetailLevel, GraphPlot, RenderBudget};
 use kgraph::build::GraphLayer;
 use kgraph::embed::project_subsequences;
 use kgraph::features::{cluster_layer, feature_matrix};
+use kgraph::graphoid::ClusterStats;
 use kgraph::nodes::radial_scan;
-use kgraph::{KGraph, KGraphConfig, KGraphModel};
+use kgraph::{KGraph, KGraphConfig, KGraphModel, NodePattern, PatternGraph};
 use tscore::Dataset;
+use tsgraph::layout::LayoutEngine;
+use tsgraph::{GraphBuilder, NodeId};
 
 /// The five stage names, in pipeline order. These are the `<stage>` path
 /// segments of every `pipeline/<stage>/<variant>` bench label and the keys
@@ -93,6 +97,99 @@ impl StageFixture {
     }
 }
 
+/// At-scale render fixture: a 10k-node synthetic layer (graph + crossing
+/// statistics built directly, no fit) for the `pipeline/render/bh_10k`
+/// and `pipeline/render/lod_10k` variants. Construction is deterministic
+/// — an LCG stream, no RNG dependency — so two runs measure identical
+/// work.
+pub struct ScaleFixture {
+    /// The synthetic pattern graph.
+    pub graph: PatternGraph,
+    /// Crossing statistics giving most nodes a clear owner.
+    pub stats: ClusterStats,
+}
+
+impl ScaleFixture {
+    /// The standard at-scale fixture: 10k nodes in 6 cluster blocks, a
+    /// chain through each block plus 2 pseudo-random extra edges per node
+    /// (~30k edges).
+    pub fn standard_10k() -> Self {
+        let (n, k, extra, seed) = (10_000usize, 6usize, 2usize, 7u64);
+        let cluster = |i: usize| i * k / n;
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        let mut b = GraphBuilder::new();
+        for i in 0..n {
+            if i + 1 < n && cluster(i) == cluster(i + 1) {
+                b.add_edge(NodeId(i as u32), NodeId(i as u32 + 1), 1.0 + (i % 5) as f64);
+            }
+            for _ in 0..extra {
+                let t = next() % n;
+                if t != i {
+                    b.add_edge(
+                        NodeId(i as u32),
+                        NodeId(t as u32),
+                        1.0 + (next() % 40) as f64 / 10.0,
+                    );
+                }
+            }
+        }
+        let nodes: Vec<NodePattern> = (0..n)
+            .map(|i| NodePattern {
+                sector: i,
+                radius: 0.5,
+                count: 1 + (i * 7) % 23,
+                pattern: Vec::new(),
+            })
+            .collect();
+        let graph: PatternGraph = b.build(nodes, |acc, w| *acc += w);
+
+        let mut node_crossings = vec![vec![0usize; n]; k];
+        for i in 0..n {
+            node_crossings[cluster(i)][i] = 5;
+        }
+        let e = graph.edge_count();
+        let mut edge_crossings = vec![vec![0usize; e]; k];
+        for (id, s, _, _) in graph.edges_iter() {
+            edge_crossings[cluster(s.index())][id.index()] = 5;
+        }
+        let stats = ClusterStats {
+            k,
+            node_crossings,
+            edge_crossings,
+            cluster_sizes: vec![10; k],
+        };
+        ScaleFixture { graph, stats }
+    }
+
+    /// `render/bh_10k`: Barnes–Hut layout dominates — aggregated detail
+    /// under a wide budget keeps emission bounded without throttling the
+    /// layout work being measured.
+    pub fn run_render_bh(&self) -> (String, usize) {
+        GraphPlot::from_graph(&self.graph, 24, &self.stats, 0.4, 0.5)
+            .with_engine(LayoutEngine::BarnesHut)
+            .with_detail(DetailLevel::Aggregated)
+            .with_budget(RenderBudget::capped(50_000))
+            .render_counted()
+    }
+
+    /// `render/lod_10k`: level-of-detail emission dominates — the O(n)
+    /// circular layout plus a tight budget that forces full degradation
+    /// (owner attribution, bundling, glyph aggregation).
+    pub fn run_render_lod(&self) -> (String, usize) {
+        GraphPlot::from_graph(&self.graph, 24, &self.stats, 0.4, 0.5)
+            .with_engine(LayoutEngine::Circular)
+            .with_detail(DetailLevel::Auto)
+            .with_budget(RenderBudget::capped(5_000))
+            .render_counted()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -115,6 +212,16 @@ mod tests {
         assert_eq!(model.labels.len(), fx.dataset.len());
         let svg = fx.run_render(&model);
         assert!(!svg.is_empty());
+    }
+
+    #[test]
+    fn scale_fixture_renders_within_budget() {
+        let fx = ScaleFixture::standard_10k();
+        assert_eq!(fx.graph.node_count(), 10_000);
+        assert!(fx.graph.edge_count() > 10_000);
+        let (svg, elements) = fx.run_render_lod();
+        assert!(elements <= 5_000, "lod render emitted {elements} elements");
+        assert!(svg.ends_with("</svg>"));
     }
 
     #[test]

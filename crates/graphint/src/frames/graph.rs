@@ -6,11 +6,12 @@
 //! the three interactions of the demo's Graph frame.
 
 use crate::color::category_color;
-use crate::plot::graphplot::GraphPlot;
+use crate::plot::graphplot::{DetailLevel, GraphPlot, RenderBudget};
 use crate::plot::line::{LineChart, Series};
 use crate::svg::{LinearScale, SvgDoc};
 use kgraph::graphoid::ClusterStats;
 use kgraph::KGraphModel;
+use tsgraph::layout::LayoutEngine;
 
 /// Per-node inspection data (bottom-right panel of the Graph frame).
 #[derive(Debug, Clone)]
@@ -70,6 +71,22 @@ impl<'a> GraphFrame<'a> {
     /// Renders the node-link view.
     pub fn render_graph(&self) -> String {
         GraphPlot::new(self.model.best(), &self.stats, self.lambda, self.gamma).render()
+    }
+
+    /// Renders the node-link view with explicit layout engine, detail
+    /// level and element budget, returning the SVG and the emitted
+    /// element count (what the budget is accounted against).
+    pub fn render_graph_with(
+        &self,
+        engine: LayoutEngine,
+        detail: DetailLevel,
+        budget: RenderBudget,
+    ) -> (String, usize) {
+        GraphPlot::new(self.model.best(), &self.stats, self.lambda, self.gamma)
+            .with_engine(engine)
+            .with_detail(detail)
+            .with_budget(budget)
+            .render_counted()
     }
 
     /// Inspection data for one node.

@@ -12,7 +12,7 @@ pub mod line;
 pub mod scatter;
 
 pub use boxplot::BoxPlot;
-pub use graphplot::GraphPlot;
+pub use graphplot::{DetailLevel, GraphPlot, RenderBudget};
 pub use heatmap::Heatmap;
 pub use histogram::Histogram;
 pub use line::LineChart;

@@ -14,20 +14,47 @@ pub fn escape(text: &str) -> String {
 }
 
 /// An SVG document being built.
+///
+/// The opening `<svg …>` tag is written at construction and
+/// [`finish`](SvgDoc::finish) only appends the closing tag, so the
+/// document accumulates into one flat buffer that callers can recycle
+/// across renders via [`with_buffer`](SvgDoc::with_buffer) — SVG emission
+/// is the fixed cost that dominates large renders, and reallocation is a
+/// measurable slice of it.
+///
+/// Every visual element written bumps [`element_count`]
+/// (SvgDoc::element_count); structural wrappers (`<g>`, the root) do not
+/// count. Level-of-detail renderers budget against this counter.
 #[derive(Debug, Clone)]
 pub struct SvgDoc {
     width: f64,
     height: f64,
     body: String,
+    elements: usize,
+    groups_open: usize,
 }
 
 impl SvgDoc {
     /// Creates a document of the given pixel size.
     pub fn new(width: f64, height: f64) -> Self {
+        SvgDoc::with_buffer(width, height, String::new())
+    }
+
+    /// Creates a document reusing `buf`'s allocation (cleared first).
+    /// Feed the string returned by [`finish`](SvgDoc::finish) back in to
+    /// render repeatedly without reallocating.
+    pub fn with_buffer(width: f64, height: f64, mut buf: String) -> Self {
+        buf.clear();
+        let _ = write!(
+            buf,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0}" height="{height:.0}" viewBox="0 0 {width:.0} {height:.0}">"#
+        );
         SvgDoc {
             width,
             height,
-            body: String::new(),
+            body: buf,
+            elements: 0,
+            groups_open: 0,
         }
     }
 
@@ -41,8 +68,31 @@ impl SvgDoc {
         self.height
     }
 
+    /// Number of visual elements written so far (`<g>` wrappers and the
+    /// root element excluded).
+    pub fn element_count(&self) -> usize {
+        self.elements
+    }
+
+    /// Opens a `<g>` style group; attributes written here are inherited
+    /// by every bare element inside (e.g. [`plain_circle`]
+    /// (SvgDoc::plain_circle)), which is what keeps per-element markup
+    /// small in aggregated renders. `attrs` is raw attribute markup.
+    pub fn begin_group(&mut self, attrs: &str) {
+        let _ = write!(self.body, "<g {attrs}>");
+        self.groups_open += 1;
+    }
+
+    /// Closes the innermost open `<g>` group.
+    pub fn end_group(&mut self) {
+        debug_assert!(self.groups_open > 0, "end_group without begin_group");
+        self.body.push_str("</g>");
+        self.groups_open = self.groups_open.saturating_sub(1);
+    }
+
     /// Filled/stroked rectangle.
     pub fn rect(&mut self, x: f64, y: f64, w: f64, h: f64, fill: &str, stroke: &str) {
+        self.elements += 1;
         let _ = write!(
             self.body,
             r#"<rect x="{x:.2}" y="{y:.2}" width="{w:.2}" height="{h:.2}" fill="{fill}" stroke="{stroke}"/>"#
@@ -51,14 +101,26 @@ impl SvgDoc {
 
     /// Circle.
     pub fn circle(&mut self, cx: f64, cy: f64, r: f64, fill: &str, stroke: &str) {
+        self.elements += 1;
         let _ = write!(
             self.body,
             r#"<circle cx="{cx:.2}" cy="{cy:.2}" r="{r:.2}" fill="{fill}" stroke="{stroke}"/>"#
         );
     }
 
+    /// Circle with no style attributes of its own — it inherits fill and
+    /// stroke from the enclosing [`begin_group`](SvgDoc::begin_group).
+    pub fn plain_circle(&mut self, cx: f64, cy: f64, r: f64) {
+        self.elements += 1;
+        let _ = write!(
+            self.body,
+            r#"<circle cx="{cx:.2}" cy="{cy:.2}" r="{r:.2}"/>"#
+        );
+    }
+
     /// Straight line segment.
     pub fn line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, stroke: &str, width: f64) {
+        self.elements += 1;
         let _ = write!(
             self.body,
             r#"<line x1="{x1:.2}" y1="{y1:.2}" x2="{x2:.2}" y2="{y2:.2}" stroke="{stroke}" stroke-width="{width:.2}"/>"#
@@ -67,9 +129,20 @@ impl SvgDoc {
 
     /// Dashed line segment.
     pub fn dashed_line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, stroke: &str, width: f64) {
+        self.elements += 1;
         let _ = write!(
             self.body,
             r#"<line x1="{x1:.2}" y1="{y1:.2}" x2="{x2:.2}" y2="{y2:.2}" stroke="{stroke}" stroke-width="{width:.2}" stroke-dasharray="4 3"/>"#
+        );
+    }
+
+    /// Unfilled path with raw `d` data — one element no matter how many
+    /// segments it bundles, which is what makes edge aggregation pay.
+    pub fn path(&mut self, d: &str, stroke: &str, width: f64) {
+        self.elements += 1;
+        let _ = write!(
+            self.body,
+            r#"<path d="{d}" fill="none" stroke="{stroke}" stroke-width="{width:.2}"/>"#
         );
     }
 
@@ -78,6 +151,7 @@ impl SvgDoc {
         if points.is_empty() {
             return;
         }
+        self.elements += 1;
         let pts: String = points
             .iter()
             .map(|(x, y)| format!("{x:.2},{y:.2}"))
@@ -91,6 +165,7 @@ impl SvgDoc {
 
     /// Text anchored at `(x, y)`; `anchor` is `start`, `middle` or `end`.
     pub fn text(&mut self, x: f64, y: f64, content: &str, size: f64, anchor: &str, fill: &str) {
+        self.elements += 1;
         let _ = write!(
             self.body,
             r#"<text x="{x:.2}" y="{y:.2}" font-size="{size:.1}" text-anchor="{anchor}" fill="{fill}" font-family="sans-serif">{}</text>"#,
@@ -131,17 +206,22 @@ impl SvgDoc {
         );
     }
 
-    /// Appends raw SVG markup (escape hatch for niche shapes).
+    /// Appends raw SVG markup (escape hatch for niche shapes). Counts as
+    /// one visual element.
     pub fn raw(&mut self, markup: &str) {
+        self.elements += 1;
         self.body.push_str(markup);
     }
 
-    /// Finalises the document.
-    pub fn finish(self) -> String {
-        format!(
-            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{:.0}" height="{:.0}" viewBox="0 0 {:.0} {:.0}">{}</svg>"#,
-            self.width, self.height, self.width, self.height, self.body
-        )
+    /// Finalises the document, returning the buffer (reusable through
+    /// [`with_buffer`](SvgDoc::with_buffer)). Any `<g>` groups left open
+    /// are closed.
+    pub fn finish(mut self) -> String {
+        for _ in 0..self.groups_open {
+            self.body.push_str("</g>");
+        }
+        self.body.push_str("</svg>");
+        self.body
     }
 }
 

@@ -1,0 +1,201 @@
+//! Golden-snapshot and budget tests for the Graph frame renderer.
+//!
+//! * Byte-exact committed renders of a small synthetic fixture at each
+//!   detail level (`tests/golden/*.svg`). Regenerate deliberately with
+//!   `BLESS_GOLDEN=1 cargo test -p graphint --test golden_svg` after an
+//!   intentional rendering change, and review the diff.
+//! * A determinism regression: the same model rendered twice — on both
+//!   sides of the `LayoutEngine::Auto` exact/Barnes–Hut boundary — must
+//!   produce byte-identical SVG.
+//! * The `RenderBudget` cap on a 10k-node synthetic layer: the emitted
+//!   element count never exceeds the budget, whichever detail level
+//!   `Auto` degrades to.
+
+use graphint::plot::{DetailLevel, GraphPlot, RenderBudget};
+use kgraph::graphoid::ClusterStats;
+use kgraph::{NodePattern, PatternGraph};
+use tsgraph::layout::LayoutEngine;
+use tsgraph::{GraphBuilder, NodeId};
+
+/// Deterministic synthetic layer: `n` nodes in `k` contiguous cluster
+/// blocks, a chain through each block plus `extra` pseudo-random edges
+/// per node (LCG — no RNG dependency), crossing statistics that give most
+/// nodes a clear owner and every 7th node an even (muted) split.
+fn synthetic(n: usize, k: usize, extra: usize, seed: u64) -> (PatternGraph, ClusterStats) {
+    let cluster = |i: usize| i * k / n;
+    let mut state = seed | 1;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as usize
+    };
+    let mut b = GraphBuilder::new();
+    for i in 0..n {
+        if i + 1 < n && cluster(i) == cluster(i + 1) {
+            b.add_edge(NodeId(i as u32), NodeId(i as u32 + 1), 1.0 + (i % 5) as f64);
+        }
+        for _ in 0..extra {
+            let t = next() % n;
+            if t != i {
+                b.add_edge(
+                    NodeId(i as u32),
+                    NodeId(t as u32),
+                    1.0 + (next() % 40) as f64 / 10.0,
+                );
+            }
+        }
+    }
+    let nodes: Vec<NodePattern> = (0..n)
+        .map(|i| NodePattern {
+            sector: i,
+            radius: 0.5,
+            count: 1 + (i * 7) % 23,
+            pattern: Vec::new(),
+        })
+        .collect();
+    let graph: PatternGraph = b.build(nodes, |acc, w| *acc += w);
+
+    let mut node_crossings = vec![vec![0usize; n]; k];
+    for i in 0..n {
+        if i % 7 == 0 {
+            // Evenly split → exclusivity 1/k → muted under γ > 1/k.
+            for row in node_crossings.iter_mut() {
+                row[i] = 2;
+            }
+        } else {
+            node_crossings[cluster(i)][i] = 5;
+        }
+    }
+    let e = graph.edge_count();
+    let mut edge_crossings = vec![vec![0usize; e]; k];
+    for (id, s, _, _) in graph.edges_iter() {
+        let i = s.index();
+        if i % 7 == 0 {
+            for row in edge_crossings.iter_mut() {
+                row[id.index()] = 2;
+            }
+        } else {
+            edge_crossings[cluster(i)][id.index()] = 5;
+        }
+    }
+    let stats = ClusterStats {
+        k,
+        node_crossings,
+        edge_crossings,
+        cluster_sizes: vec![10; k],
+    };
+    (graph, stats)
+}
+
+fn golden_path(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn assert_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("BLESS_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {path:?} ({e}); run with BLESS_GOLDEN=1"));
+    assert!(
+        expected == actual,
+        "render of {name} diverged from committed golden {path:?}; \
+         if the change is intentional, regenerate with BLESS_GOLDEN=1 and review the diff"
+    );
+}
+
+fn fixture_plot<'a>(graph: &'a PatternGraph, stats: &'a ClusterStats) -> GraphPlot<'a> {
+    GraphPlot::from_graph(graph, 24, stats, 0.4, 0.5)
+}
+
+#[test]
+fn golden_full_detail() {
+    let (graph, stats) = synthetic(24, 3, 2, 1);
+    let svg = fixture_plot(&graph, &stats)
+        .with_detail(DetailLevel::Full)
+        .render();
+    assert_golden("full.svg", &svg);
+}
+
+#[test]
+fn golden_aggregated_detail() {
+    let (graph, stats) = synthetic(24, 3, 2, 1);
+    let svg = fixture_plot(&graph, &stats)
+        .with_detail(DetailLevel::Aggregated)
+        .render();
+    assert!(svg.contains("<path"), "aggregated render bundles edges");
+    assert_golden("aggregated.svg", &svg);
+}
+
+#[test]
+fn golden_glyph_detail() {
+    let (graph, stats) = synthetic(24, 3, 2, 1);
+    let svg = fixture_plot(&graph, &stats)
+        .with_detail(DetailLevel::Glyph)
+        .render();
+    assert!(svg.contains("nodes)"), "glyph render labels clusters");
+    assert_golden("glyph.svg", &svg);
+}
+
+#[test]
+fn auto_detail_with_no_budget_is_full_detail() {
+    let (graph, stats) = synthetic(24, 3, 2, 1);
+    let auto = fixture_plot(&graph, &stats).render();
+    let full = fixture_plot(&graph, &stats)
+        .with_detail(DetailLevel::Full)
+        .render();
+    assert_eq!(auto, full);
+}
+
+#[test]
+fn rendering_is_deterministic_across_engine_boundaries() {
+    // 256 nodes → Auto resolves to the exact layout; 600 → Barnes–Hut.
+    // Either side of the boundary, re-rendering is byte-identical, and
+    // naming the resolved engine explicitly changes nothing.
+    for (n, explicit) in [
+        (256usize, LayoutEngine::Exact),
+        (600, LayoutEngine::BarnesHut),
+    ] {
+        let (graph, stats) = synthetic(n, 4, 1, 9);
+        let plot = |engine| {
+            GraphPlot::from_graph(&graph, 24, &stats, 0.4, 0.5)
+                .with_engine(engine)
+                .with_budget(RenderBudget::capped(20_000))
+                .render()
+        };
+        let first = plot(LayoutEngine::Auto);
+        let second = plot(LayoutEngine::Auto);
+        assert_eq!(first, second, "n={n}: repeat render diverged");
+        assert_eq!(first, plot(explicit), "n={n}: explicit engine diverged");
+    }
+}
+
+#[test]
+fn budget_cap_holds_on_10k_node_layer() {
+    let (graph, stats) = synthetic(10_000, 6, 2, 7);
+    // Circular layout keeps this test about budgeting, not layout speed.
+    for budget in [1_000usize, 2_000, 12_000, 25_000] {
+        let plot = GraphPlot::from_graph(&graph, 24, &stats, 0.4, 0.5)
+            .with_engine(LayoutEngine::Circular)
+            .with_budget(RenderBudget::capped(budget));
+        let resolved = plot.resolve_detail();
+        let (svg, count) = plot.render_counted();
+        assert!(
+            count <= budget,
+            "budget {budget}: emitted {count} elements at {resolved:?}"
+        );
+        assert!(svg.ends_with("</svg>"));
+        // Small budgets must force degradation, not truncation.
+        if budget < 10_000 {
+            assert_eq!(resolved, DetailLevel::Glyph, "budget {budget}");
+        } else {
+            assert_eq!(resolved, DetailLevel::Aggregated, "budget {budget}");
+        }
+    }
+}

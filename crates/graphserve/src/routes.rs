@@ -16,6 +16,7 @@ use crate::json::{f64s_to_json, write_json_string, Json};
 use crate::server::ServerStats;
 use crate::store::{ModelStore, StoreReader};
 use graphint::frames::graph::GraphFrame;
+use graphint::plot::{DetailLevel, RenderBudget};
 use kgraph::anomaly::anomaly_scores;
 use kgraph::features::feature_row;
 use kgraph::graphoid::{gamma_graphoid, lambda_graphoid};
@@ -25,6 +26,7 @@ use std::sync::Arc;
 use streamfit::{SessionRegistry, StreamStatus};
 use tscore::error::TsError;
 use tscore::{Dataset, DatasetKind, TimeSeries};
+use tsgraph::layout::LayoutEngine;
 
 /// Everything a handler can reach besides the per-worker [`StoreReader`]:
 /// the store (admin routes), the streaming-session registry (ingest
@@ -604,11 +606,79 @@ fn graphoid_endpoint(req: &Request, model: &KGraphModel) -> Response {
     Response::json(200, body)
 }
 
-/// `GET /models/{name}/render?format=svg|ascii` — the Graph frame,
-/// rendered headlessly from the shared model.
+/// Hard ceiling on the SVG element count any single render may cost the
+/// server. Requests whose *explicit* detail level would exceed it are
+/// refused with 413 before any layout work happens — that is the
+/// admission-control contract: a render request has bounded cost no
+/// matter how large the model is.
+const MAX_RENDER_ELEMENTS: usize = 50_000;
+
+/// Default render budget when the client does not pass `?budget=`. Small
+/// models resolve to full detail well inside it (so existing clients see
+/// byte-identical output); 10k+-node layers degrade to aggregated or
+/// glyph detail instead of emitting multi-megabyte documents.
+const DEFAULT_RENDER_BUDGET: usize = 20_000;
+
+/// `GET /models/{name}/render?format=svg|ascii&detail=&layout=&budget=`
+/// — the Graph frame, rendered headlessly from the shared model.
+///
+/// * `detail` — `auto` (default) | `full` | `aggregated` | `glyph`.
+///   `auto` degrades until the element budget fits.
+/// * `layout` — `auto` (default) | `circular` | `exact` | `bh`.
+/// * `budget` — element cap for `auto` detail, clamped to the server's
+///   hard ceiling.
+///
+/// The response carries `x-render-elements` with the emitted element
+/// count so smoke tests (and clients) can verify the budget held.
 fn render_endpoint(req: &Request, model: &KGraphModel) -> Response {
     match req.query_param("format").unwrap_or("svg") {
-        "svg" => Response::svg(GraphFrame::with_auto_thresholds(model).render_graph()),
+        "svg" => {
+            let detail = match req.query_param("detail") {
+                None => DetailLevel::Auto,
+                Some(s) => match DetailLevel::parse(s) {
+                    Some(d) => d,
+                    None => return Response::error(400, &format!("unknown detail level {s:?}")),
+                },
+            };
+            let engine = match req.query_param("layout") {
+                None => LayoutEngine::Auto,
+                Some(s) => match LayoutEngine::parse(s) {
+                    Some(e) => e,
+                    None => return Response::error(400, &format!("unknown layout engine {s:?}")),
+                },
+            };
+            let budget = match query_usize(req, "budget", DEFAULT_RENDER_BUDGET) {
+                Ok(v) => v.clamp(1, MAX_RENDER_ELEMENTS),
+                Err(resp) => return resp,
+            };
+            // Admission control: an explicit detail level states its cost
+            // up front; refuse before spending any layout time on it.
+            let g = &model.best().graph;
+            let k = model.k();
+            let fixed = 3 + 2 * k;
+            let estimate = match detail {
+                DetailLevel::Full => fixed + 3 * g.edge_count() + g.node_count(),
+                // The direct-edge quota self-limits to the budget (≤ the
+                // ceiling); nodes are the irreducible cost.
+                DetailLevel::Aggregated => fixed + g.node_count() + k + 1,
+                // Auto degrades to fit the (clamped) budget; Glyph is O(k).
+                DetailLevel::Auto | DetailLevel::Glyph => 0,
+            };
+            if estimate > MAX_RENDER_ELEMENTS {
+                return Response::error(
+                    413,
+                    &format!(
+                        "detail level would emit ~{estimate} elements (limit {MAX_RENDER_ELEMENTS}); use detail=auto"
+                    ),
+                );
+            }
+            let (svg, elements) = GraphFrame::with_auto_thresholds(model).render_graph_with(
+                engine,
+                detail,
+                RenderBudget::capped(budget),
+            );
+            Response::svg(svg).with_header("x-render-elements", elements.to_string())
+        }
         "ascii" => {
             let layer = model.best();
             let mut text = format!(

@@ -44,8 +44,13 @@
 //!   components, reachability, degree ordering and weighted PageRank
 //!   (plus `algo::reference` DiGraph implementations kept for parity
 //!   testing),
-//! * [`layout`] — circular and Fruchterman–Reingold force-directed 2-D
-//!   layouts over CSR graphs for the Graph frame.
+//! * [`layout`] — 2-D layouts over CSR graphs for the Graph frame:
+//!   circular, the exact Fruchterman–Reingold reference
+//!   (`layout::reference`) and the Barnes–Hut approximation
+//!   ([`layout::barnes_hut`]) for 10k+-node layers, selected by
+//!   [`layout::LayoutEngine`],
+//! * [`quadtree`] — the reusable Barnes–Hut quadtree backing the
+//!   approximate layout.
 //!
 //! This replaces `petgraph` (kept out deliberately; the dependency budget
 //! of the reproduction is limited to the local shims plus the std
@@ -58,6 +63,7 @@ pub mod csr;
 pub mod delta;
 pub mod digraph;
 pub mod layout;
+pub mod quadtree;
 pub mod spill;
 
 pub use builder::GraphBuilder;
